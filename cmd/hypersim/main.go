@@ -1,0 +1,169 @@
+// Command hypersim runs one workload on a simulated hyperspace computer and
+// reports the paper's metrics: computation time, message counts, and
+// optionally the interconnect-activity trace and node-activity heatmap.
+//
+// Usage examples:
+//
+//	hypersim -topo torus:14x14 -mapper lbn -task sum -n 100
+//	hypersim -topo torus:6x6x6 -mapper rr -task queens -n 7
+//	hypersim -topo hypercube:7 -mapper weighted:2 -task knapsack -n 14
+//	hypersim -topo torus:14x14 -mapper lbn -task sat -seed 7 -series -heatmap
+//	hypersim -topo full:256 -mapper ideal -task sat -cnf problem.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	hypersolve "hypersolve"
+	"hypersolve/internal/metrics"
+	"hypersolve/internal/sat"
+)
+
+func main() {
+	var (
+		topoSpec   = flag.String("topo", "torus:14x14", "topology spec: torus:AxB[xC], grid:AxB, hypercube:N, full:N, ring:N, star:N")
+		mapperSpec = flag.String("mapper", "rr", "mapper spec: rr, rr-stagger, lbn, random, weighted[:alpha], ideal")
+		taskName   = flag.String("task", "sat", "workload: sat, sum, fib, queens, knapsack")
+		n          = flag.Int("n", 20, "task parameter (sum/fib argument, queens board size, knapsack items, sat variables)")
+		cnf        = flag.String("cnf", "", "DIMACS file for -task sat (overrides the generated instance)")
+		heuristic  = flag.String("heuristic", "first", "sat branching heuristic: first, freq, jw, dlis")
+		procs      = flag.Int("procs", 1, "logical processes per core (layer 2)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		maxSteps   = flag.Int64("max-steps", 0, "abort after this many steps (0 = default)")
+		series     = flag.Bool("series", false, "print the interconnect activity trace")
+		heatmap    = flag.Bool("heatmap", false, "print the node activity heatmap")
+		linkQueues = flag.Bool("link-queues", false, "use per-link queues instead of per-node queues")
+	)
+	flag.Parse()
+	if err := run(*topoSpec, *mapperSpec, *taskName, *n, *cnf, *heuristic, *procs, *seed, *maxSteps, *series, *heatmap, *linkQueues); err != nil {
+		fmt.Fprintln(os.Stderr, "hypersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoSpec, mapperSpec, taskName string, n int, cnf, heuristic string, procs int, seed, maxSteps int64, series, heatmap, linkQueues bool) error {
+	topo, err := hypersolve.ParseTopology(topoSpec)
+	if err != nil {
+		return err
+	}
+	mapper, err := hypersolve.ParseMapper(mapperSpec)
+	if err != nil {
+		return err
+	}
+
+	var task hypersolve.Task
+	var arg hypersolve.Value
+	var check func(v hypersolve.Value) string
+	switch taskName {
+	case "sum":
+		task, arg = hypersolve.SumTask(), n
+		check = func(v hypersolve.Value) string {
+			return fmt.Sprintf("sum(%d) = %v (want %d)", n, v, n*(n+1)/2)
+		}
+	case "fib":
+		task, arg = hypersolve.FibTask(), n
+		check = func(v hypersolve.Value) string { return fmt.Sprintf("fib(%d) = %v", n, v) }
+	case "queens":
+		task, arg = hypersolve.QueensTask(3), hypersolve.QueensState{N: n}
+		check = func(v hypersolve.Value) string {
+			return fmt.Sprintf("queens(%d) = %v solutions (sequential: %d)", n, v, hypersolve.QueensSeq(n))
+		}
+	case "knapsack":
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]hypersolve.KnapsackItem, n)
+		capacity := 0
+		for i := range items {
+			items[i] = hypersolve.KnapsackItem{Weight: 1 + rng.Intn(20), Value: 1 + rng.Intn(40)}
+			capacity += items[i].Weight
+		}
+		capacity /= 2
+		task, arg = hypersolve.KnapsackTask(3), hypersolve.NewKnapsack(items, capacity)
+		dp := hypersolve.KnapsackDP(items, capacity)
+		check = func(v hypersolve.Value) string {
+			return fmt.Sprintf("knapsack(%d items, cap %d) = %v (DP oracle: %d)", n, capacity, v, dp)
+		}
+	case "sat":
+		var formula hypersolve.Formula
+		if cnf != "" {
+			f, err := os.Open(cnf)
+			if err != nil {
+				return err
+			}
+			formula, err = sat.ParseDIMACS(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		} else {
+			formula = sat.Random3SAT(rand.New(rand.NewSource(seed)), n, int(float64(n)*4.36))
+		}
+		h, err := sat.ParseHeuristic(heuristic)
+		if err != nil {
+			return err
+		}
+		task, arg = hypersolve.SATTask(h), hypersolve.NewSATProblem(formula)
+		check = func(v hypersolve.Value) string {
+			out := v.(hypersolve.SATOutcome)
+			verdict := out.Status.String()
+			if out.Status == hypersolve.StatusSAT {
+				if hypersolve.VerifySAT(formula, out.Assignment) {
+					verdict += " (assignment verified)"
+				} else {
+					verdict += " (ASSIGNMENT INVALID)"
+				}
+			}
+			seq := hypersolve.SolveSAT(formula, sat.Options{Heuristic: h})
+			return fmt.Sprintf("distributed: %s | sequential baseline: %s", verdict, seq.Status)
+		}
+	default:
+		return fmt.Errorf("unknown task %q (want sat|sum|fib|queens|knapsack)", taskName)
+	}
+
+	cfg := hypersolve.Config{
+		Topology:     topo,
+		Mapper:       mapper,
+		Task:         task,
+		ProcsPerNode: procs,
+		Seed:         seed,
+		MaxSteps:     maxSteps,
+		RecordSeries: series,
+	}
+	if linkQueues {
+		cfg.Link.QueueModel = hypersolve.LinkQueues
+	}
+	machine, err := hypersolve.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := machine.Run(arg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("machine: %s (%d cores), mapper %s, task %s\n", topo.Name(), topo.Size(), mapperSpec, taskName)
+	if !res.OK {
+		fmt.Println("run did NOT complete (MaxSteps exceeded)")
+	} else {
+		fmt.Println(check(res.Value))
+	}
+	fmt.Printf("computation time: %d steps (performance %.6f)\n", res.ComputationTime, res.Performance)
+	fmt.Printf("messages: sent %d, delivered %d\n", res.Stats.TotalSent, res.Stats.TotalDelivered)
+	var frames int64
+	for _, f := range res.FramesPerProcess {
+		frames += f
+	}
+	fmt.Printf("task frames evaluated: %d\n", frames)
+	if series {
+		fmt.Println("\ninterconnect activity (queued messages vs time):")
+		fmt.Print(metrics.AsciiPlot(res.QueuedSeries, 64, 12))
+	}
+	if heatmap {
+		hm := machine.NodeHeatmap(res)
+		fmt.Printf("\nnode activity heatmap (imbalance CV %.2f):\n", hm.ImbalanceCV())
+		fmt.Print(hm.Render())
+	}
+	return nil
+}

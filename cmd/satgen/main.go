@@ -1,0 +1,72 @@
+// Command satgen generates uniform random 3-SAT instances in DIMACS CNF
+// format, in the image of the SATLIB "uf" benchmark family the paper
+// evaluates on.
+//
+// Usage:
+//
+//	satgen -vars 20 -clauses 91 -seed 1 > instance.cnf
+//	satgen -vars 50 -clauses 218 -count 20 -sat -out bench/uf50
+//
+// With -count > 1, instances are written to <out>-0001.cnf etc.; with -sat
+// only satisfiable instances (verified by the sequential DPLL solver) are
+// kept, as in the paper's all-satisfiable benchmark suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypersolve/internal/sat"
+)
+
+func main() {
+	var (
+		vars    = flag.Int("vars", 20, "number of variables")
+		clauses = flag.Int("clauses", 91, "number of clauses")
+		count   = flag.Int("count", 1, "number of instances")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		satOnly = flag.Bool("sat", false, "keep only satisfiable instances")
+		out     = flag.String("out", "", "output file prefix (default: stdout, single instance only)")
+	)
+	flag.Parse()
+	if err := run(*vars, *clauses, *count, *seed, *satOnly, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "satgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vars, clauses, count int, seed int64, satOnly bool, out string) error {
+	suite, err := sat.GenerateSuite(sat.SuiteParams{
+		Count:      count,
+		NumVars:    vars,
+		NumClauses: clauses,
+		Seed:       seed,
+		RequireSAT: satOnly,
+	})
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		if count != 1 {
+			return fmt.Errorf("-count > 1 requires -out")
+		}
+		return sat.WriteDIMACS(os.Stdout, suite[0])
+	}
+	for i, f := range suite {
+		name := fmt.Sprintf("%s-%04d.cnf", out, i+1)
+		file, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := sat.WriteDIMACS(file, f); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", name)
+	}
+	return nil
+}

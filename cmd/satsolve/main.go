@@ -1,0 +1,132 @@
+// Command satsolve decides the satisfiability of a DIMACS CNF instance,
+// either with the sequential DPLL baseline or distributed across a simulated
+// hyperspace computer (the paper's Listing 4 solver on the full five-layer
+// stack).
+//
+// Usage:
+//
+//	satsolve instance.cnf                          # sequential DPLL
+//	satsolve -mesh torus:14x14 -mapper lbn x.cnf   # distributed solve
+//	satsolve -heuristic jw -stats x.cnf
+//
+// Exit status: 10 for SAT, 20 for UNSAT (the SAT-competition convention),
+// 1 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hypersolve "hypersolve"
+	"hypersolve/internal/sat"
+)
+
+func main() {
+	var (
+		meshSpec   = flag.String("mesh", "", "solve on a simulated machine, e.g. torus:14x14 (default: sequential)")
+		mapperSpec = flag.String("mapper", "lbn", "mapper for -mesh runs")
+		heuristic  = flag.String("heuristic", "first", "branching heuristic: first, freq, jw, dlis")
+		stats      = flag.Bool("stats", false, "print search statistics")
+		model      = flag.Bool("assignment", false, "print the satisfying assignment")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] instance.cnf")
+		os.Exit(1)
+	}
+	status, err := run(flag.Arg(0), *meshSpec, *mapperSpec, *heuristic, *stats, *model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(1)
+	}
+	switch status {
+	case sat.SAT:
+		os.Exit(10)
+	case sat.UNSAT:
+		os.Exit(20)
+	default:
+		os.Exit(1)
+	}
+}
+
+func run(path, meshSpec, mapperSpec, heuristic string, stats, model bool) (sat.Status, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return sat.Unknown, err
+	}
+	formula, err := sat.ParseDIMACS(file)
+	file.Close()
+	if err != nil {
+		return sat.Unknown, err
+	}
+	h, err := sat.ParseHeuristic(heuristic)
+	if err != nil {
+		return sat.Unknown, err
+	}
+
+	var status sat.Status
+	var assignment sat.Assignment
+	if meshSpec == "" {
+		res := sat.Solve(formula, sat.Options{Heuristic: h})
+		status, assignment = res.Status, res.Assignment
+		if stats {
+			fmt.Printf("c calls=%d decisions=%d unit_props=%d pure_assigns=%d\n",
+				res.Calls, res.Decisions, res.UnitProps, res.PureAssigns)
+		}
+	} else {
+		topo, err := hypersolve.ParseTopology(meshSpec)
+		if err != nil {
+			return sat.Unknown, err
+		}
+		mapper, err := hypersolve.ParseMapper(mapperSpec)
+		if err != nil {
+			return sat.Unknown, err
+		}
+		res, err := hypersolve.Run(hypersolve.Config{
+			Topology: topo,
+			Mapper:   mapper,
+			Task:     hypersolve.SATTask(h),
+		}, hypersolve.NewSATProblem(formula))
+		if err != nil {
+			return sat.Unknown, err
+		}
+		if !res.OK {
+			return sat.Unknown, fmt.Errorf("simulation did not complete")
+		}
+		out := res.Value.(sat.Outcome)
+		status, assignment = out.Status, out.Assignment
+		if stats {
+			fmt.Printf("c steps=%d messages=%d cores=%d\n",
+				res.ComputationTime, res.Stats.TotalSent, topo.Size())
+		}
+	}
+
+	if status == sat.SAT && !sat.Verify(formula, assignment) {
+		return sat.Unknown, fmt.Errorf("internal error: SAT claimed but assignment invalid")
+	}
+	fmt.Println("s", satCompetitionName(status))
+	if model && status == sat.SAT {
+		fmt.Print("v ")
+		for v := 1; v <= formula.NumVars; v++ {
+			lit := v
+			if assignment.Value(v) != 1 {
+				lit = -v
+			}
+			fmt.Print(lit, " ")
+		}
+		fmt.Println("0")
+	}
+	return status, nil
+}
+
+func satCompetitionName(s sat.Status) string {
+	switch s {
+	case sat.SAT:
+		return "SATISFIABLE"
+	case sat.UNSAT:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}

@@ -1,0 +1,271 @@
+// Package hypersolve is a framework for developing combinatorial solvers on
+// massively parallel machines with regular topologies ("hyperspace
+// computers"), reproducing the multi-layer programming model of
+//
+//	G. Tarawneh et al., "Programming Model to Develop Supercomputer
+//	Combinatorial Solvers", P2S2 workshop, ICPP 2017.
+//	https://doi.org/10.1109/ICPPW.2017.35
+//
+// The stack has five layers, each replaceable independently:
+//
+//	layer 1  message passing   deterministic time-stepped simulator
+//	layer 2  scheduling        logical processes on physical cores
+//	layer 3  mapping           destination-free sends, ticketed replies,
+//	                           round-robin / least-busy-neighbour placement
+//	layer 4  recursion         fork-join tasks via goroutine continuations
+//	layer 5  application       DPLL SAT, N-Queens, knapsack, or your own
+//
+// Quick start:
+//
+//	task := hypersolve.SumTask() // sum(n) = n + sum(n-1), paper Listing 3
+//	res, err := hypersolve.Run(hypersolve.Config{
+//		Topology: hypersolve.MustTorus(14, 14),
+//		Mapper:   hypersolve.LeastBusyMapper(),
+//		Task:     task,
+//	}, 10)
+//	// res.Value == 55, res.ComputationTime = simulation steps used
+//
+// This package is a stable facade over the internal implementation
+// packages; everything needed to build and evaluate solvers is re-exported
+// here.
+package hypersolve
+
+import (
+	"hypersolve/internal/apps"
+	"hypersolve/internal/core"
+	"hypersolve/internal/mapping"
+	"hypersolve/internal/mesh"
+	"hypersolve/internal/metrics"
+	"hypersolve/internal/recursion"
+	"hypersolve/internal/sat"
+	"hypersolve/internal/sched"
+	"hypersolve/internal/simulator"
+)
+
+// ---------------------------------------------------------------------------
+// Core machine
+// ---------------------------------------------------------------------------
+
+// Config assembles a machine: one implementation per layer. See
+// core.Config for field documentation.
+type Config = core.Config
+
+// Result reports a run's outcome and activity metrics.
+type Result = core.Result
+
+// Machine is a configured five-layer stack.
+type Machine = core.Machine
+
+// NewMachine validates a configuration and builds the stack.
+func NewMachine(cfg Config) (*Machine, error) { return core.New(cfg) }
+
+// Run builds a machine from cfg, triggers the task with arg at the root
+// process and runs the simulation to completion.
+func Run(cfg Config, arg Value) (Result, error) { return core.RunOnce(cfg, arg) }
+
+// ---------------------------------------------------------------------------
+// Topologies (layer 1 substrate)
+// ---------------------------------------------------------------------------
+
+// Topology describes a regular interconnect.
+type Topology = mesh.Topology
+
+// NodeID identifies a node within a topology.
+type NodeID = mesh.NodeID
+
+// NewTorus builds an n-dimensional torus, e.g. NewTorus(14, 14).
+func NewTorus(dims ...int) (Topology, error) { return mesh.NewTorus(dims...) }
+
+// MustTorus is NewTorus that panics on error.
+func MustTorus(dims ...int) Topology { return mesh.MustTorus(dims...) }
+
+// NewGrid builds an n-dimensional grid (no wraparound).
+func NewGrid(dims ...int) (Topology, error) { return mesh.NewGrid(dims...) }
+
+// NewHypercube builds a 2^dim-node binary hypercube.
+func NewHypercube(dim int) (Topology, error) { return mesh.NewHypercube(dim) }
+
+// NewFullyConnected builds a complete graph on size nodes.
+func NewFullyConnected(size int) (Topology, error) { return mesh.NewFullyConnected(size) }
+
+// NewRing builds a cycle of size nodes.
+func NewRing(size int) (Topology, error) { return mesh.NewRing(size) }
+
+// ParseTopology builds a topology from a spec string such as "torus:14x14",
+// "hypercube:7" or "full:256".
+func ParseTopology(spec string) (Topology, error) { return mesh.Parse(spec) }
+
+// ---------------------------------------------------------------------------
+// Mapping algorithms (layer 3)
+// ---------------------------------------------------------------------------
+
+// MapperFactory builds a per-node mapping algorithm instance.
+type MapperFactory = mapping.Factory
+
+// RoundRobinMapper returns the paper's static mapper: sub-problems go to
+// adjacent cores in circular order.
+func RoundRobinMapper() MapperFactory { return mapping.NewRoundRobin() }
+
+// LeastBusyMapper returns the paper's adaptive mapper: sub-problems go to
+// the neighbour with the smallest piggybacked activity count.
+func LeastBusyMapper() MapperFactory { return mapping.NewLeastBusy() }
+
+// RandomMapper returns a uniformly random mapper (deterministic per seed).
+func RandomMapper() MapperFactory { return mapping.NewRandom() }
+
+// WeightedMapper returns the hint-aware adaptive mapper implementing the
+// paper's cross-layer optimization (Section III-B3).
+func WeightedMapper(alpha float64) MapperFactory { return mapping.NewWeighted(alpha) }
+
+// ParseMapper resolves a mapper spec string: "rr", "lbn", "random",
+// "weighted" or "weighted:<alpha>".
+func ParseMapper(spec string) (MapperFactory, error) { return mapping.Registry(spec) }
+
+// ---------------------------------------------------------------------------
+// Recursion layer (layer 4)
+// ---------------------------------------------------------------------------
+
+// Task is a user-level recursive function evaluated across the mesh.
+type Task = recursion.Task
+
+// Frame is the handle a task uses to issue subcalls (Call/Sync/Choose).
+type Frame = recursion.Frame
+
+// Value is the type carried through calls and results.
+type Value = recursion.Value
+
+// HintedCall pairs a subcall argument with a mapping hint.
+type HintedCall = recursion.HintedCall
+
+// PID identifies a logical process on the machine.
+type PID = sched.PID
+
+// ---------------------------------------------------------------------------
+// SAT (layer 5, the paper's evaluation workload)
+// ---------------------------------------------------------------------------
+
+// Formula is a CNF formula; Clause and Lit are its components.
+type (
+	Formula    = sat.Formula
+	Clause     = sat.Clause
+	Lit        = sat.Lit
+	Assignment = sat.Assignment
+	SATStatus  = sat.Status
+	SATOutcome = sat.Outcome
+	Heuristic  = sat.Heuristic
+)
+
+// SAT solver verdicts.
+const (
+	StatusUnknown = sat.Unknown
+	StatusSAT     = sat.SAT
+	StatusUNSAT   = sat.UNSAT
+)
+
+// SAT branching heuristics (see sat.Heuristic).
+const (
+	HeuristicFirst = sat.FirstUnassigned
+	HeuristicFreq  = sat.MostFrequent
+	HeuristicJW    = sat.JeroslowWang
+	HeuristicDLIS  = sat.DLIS
+)
+
+// SATOptions configures the sequential DPLL baseline.
+type SATOptions = sat.Options
+
+// SATTask returns the distributed DPLL solver task (paper Listing 4).
+func SATTask(h Heuristic) Task { return sat.Task(h) }
+
+// NewSATProblem wraps a formula for use as a SATTask argument.
+func NewSATProblem(f Formula) *sat.Problem { return sat.NewProblem(f) }
+
+// SolveSAT runs the sequential DPLL baseline.
+func SolveSAT(f Formula, opts sat.Options) sat.Result { return sat.Solve(f, opts) }
+
+// VerifySAT checks an assignment against a formula.
+func VerifySAT(f Formula, a Assignment) bool { return sat.Verify(f, a) }
+
+// GenerateSATSuite builds a deterministic benchmark suite; see
+// sat.SuiteParams and sat.UF20Params.
+func GenerateSATSuite(p sat.SuiteParams) ([]Formula, error) { return sat.GenerateSuite(p) }
+
+// UF20Params returns the paper's benchmark parameters: 20 satisfiable
+// uniform random 3-SAT instances, 20 variables, 91 clauses.
+func UF20Params(seed int64) sat.SuiteParams { return sat.UF20Params(seed) }
+
+// ---------------------------------------------------------------------------
+// Other bundled solvers (layer 5)
+// ---------------------------------------------------------------------------
+
+// SumTask returns the paper's Listing 3: sum(n) by delegated recursion.
+func SumTask() Task { return apps.SumTask() }
+
+// FibTask returns the two-way fork-join Fibonacci task.
+func FibTask() Task { return apps.FibTask() }
+
+// QueensTask returns the N-Queens counting solver; cutoff is the
+// sequential grain size.
+func QueensTask(cutoff int) Task { return apps.QueensTask(cutoff) }
+
+// QueensState is the N-Queens sub-problem payload; pass QueensState{N: n}
+// as the root argument.
+type QueensState = apps.QueensState
+
+// QueensSeq counts N-Queens solutions sequentially (the validation oracle).
+func QueensSeq(n int) int { return apps.QueensSeq(n) }
+
+// KnapsackTask returns the 0/1 knapsack branch-and-bound solver.
+func KnapsackTask(cutoff int) Task { return apps.KnapsackTask(cutoff) }
+
+// KnapsackItem is one 0/1 knapsack item.
+type KnapsackItem = apps.Item
+
+// NewKnapsack builds a root knapsack problem from items and capacity.
+func NewKnapsack(items []KnapsackItem, capacity int) apps.KnapsackProblem {
+	return apps.NewKnapsack(items, capacity)
+}
+
+// KnapsackDP solves knapsack by dynamic programming (the validation oracle).
+func KnapsackDP(items []KnapsackItem, capacity int) int { return apps.KnapsackDP(items, capacity) }
+
+// ---------------------------------------------------------------------------
+// Metrics & simulator access
+// ---------------------------------------------------------------------------
+
+// Series is a per-step activity time series.
+type Series = metrics.Series
+
+// Heatmap is a 2D per-node activity grid.
+type Heatmap = metrics.Heatmap
+
+// SimulatorStats are the raw layer-1 run statistics.
+type SimulatorStats = simulator.Stats
+
+// LinkConfig carries the optional layer-1 link-model extensions (latency,
+// bandwidth, bounded queues, loss + reliability); set it as Config.Link.
+type LinkConfig = simulator.Config
+
+// Queue disciplines for LinkConfig.QueueModel: one inbox per node (the
+// paper-reproduction default) or one queue per directed link (ablation).
+const (
+	NodeQueues = simulator.NodeQueues
+	LinkQueues = simulator.LinkQueues
+)
+
+// ParseTopologyMust is ParseTopology that panics on error, for tests and
+// examples.
+func ParseTopologyMust(spec string) Topology { return mesh.MustParse(spec) }
+
+// StaggeredRoundRobinMapper returns round-robin with per-node phase
+// offsets, avoiding lockstep herding on dense topologies.
+func StaggeredRoundRobinMapper() MapperFactory { return mapping.NewStaggeredRoundRobin() }
+
+// GlobalRoundRobinMapper returns the idealised globally coordinated mapper
+// used for the fully-connected baseline; it is not physically realisable
+// on a hyperspace machine.
+func GlobalRoundRobinMapper() MapperFactory { return mapping.NewGlobalRoundRobin() }
+
+// FramesCancelled is reported in Result when Config.CancelSpeculative is
+// set; see core.Result. The recursion-layer options type is re-exported for
+// direct layer composition.
+type RecursionOptions = recursion.Options

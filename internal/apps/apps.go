@@ -1,0 +1,74 @@
+// Package apps collects layer-5 applications for the hyperspace solver
+// framework beyond SAT: the paper's running examples (Listings 1-3) and two
+// further combinatorial solvers (N-Queens, 0/1 knapsack) that exercise
+// fork-join recursion with different tree shapes — fixed fan-out,
+// variable fan-out and value-maximising reduction.
+package apps
+
+import (
+	"hypersolve/internal/recursion"
+)
+
+// SumTask is the paper's Listing 3: sum(n) = n + sum(n-1), a linear chain
+// of delegated subcalls.
+func SumTask() recursion.Task {
+	return func(f *recursion.Frame, arg recursion.Value) recursion.Value {
+		n := arg.(int)
+		if n < 1 {
+			return 0
+		}
+		total := f.CallSync(n - 1).(int)
+		return total + n
+	}
+}
+
+// FibTask forks two subcalls per level — the canonical fork-join benchmark
+// with a fixed fan-out of two and a predictable unfolding (the workload
+// class the paper's Section III-B2 argues suits static mapping).
+func FibTask() recursion.Task {
+	return func(f *recursion.Frame, arg recursion.Value) recursion.Value {
+		n := arg.(int)
+		if n < 2 {
+			return n
+		}
+		f.Call(n - 1)
+		f.Call(n - 2)
+		vs := f.Sync()
+		return vs[0].(int) + vs[1].(int)
+	}
+}
+
+// FibSeq is the sequential reference for FibTask.
+func FibSeq(n int) int {
+	a, b := 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// UnbalancedTask builds a deliberately skewed tree: each node at depth d
+// spawns one heavy subtree (depth+1 on the left) and one trivial leaf. The
+// work distribution is pathological for static mapping and is the workload
+// of the hinted-mapping ablation (A2): hints carry the true subtree size.
+func UnbalancedTask() recursion.Task {
+	return func(f *recursion.Frame, arg recursion.Value) recursion.Value {
+		depth := arg.(int)
+		if depth <= 0 {
+			return 1
+		}
+		f.CallHinted(depth-1, float64(int(1)<<depth)) // heavy branch
+		f.CallHinted(-1, 1)                           // trivial leaf
+		vs := f.Sync()
+		return vs[0].(int) + vs[1].(int)
+	}
+}
+
+// UnbalancedSeq is the sequential reference: the tree with root depth d has
+// d heavy nodes, each contributing one extra leaf, plus the final leaf.
+func UnbalancedSeq(depth int) int {
+	if depth <= 0 {
+		return 1
+	}
+	return UnbalancedSeq(depth-1) + 1
+}

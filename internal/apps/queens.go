@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"hypersolve/internal/recursion"
+)
+
+// QueensState is the sub-problem payload of the N-Queens counting solver: a
+// partial placement of queens on the first len(Cols) rows.
+type QueensState struct {
+	N    int
+	Cols []int8 // Cols[r] = column of the queen on row r
+}
+
+// extend returns a copy of the state with one more queen placed.
+func (q QueensState) extend(col int8) QueensState {
+	cols := make([]int8, len(q.Cols)+1)
+	copy(cols, q.Cols)
+	cols[len(q.Cols)] = col
+	return QueensState{N: q.N, Cols: cols}
+}
+
+// safe reports whether a queen at (len(Cols), col) is unattacked.
+func (q QueensState) safe(col int8) bool {
+	row := len(q.Cols)
+	for r, c := range q.Cols {
+		if c == col {
+			return false
+		}
+		if diff := row - r; int(c)+diff == int(col) || int(c)-diff == int(col) {
+			return false
+		}
+	}
+	return true
+}
+
+// QueensTask counts the solutions of the N-Queens problem by forking one
+// subcall per safe column of the next row and summing the counts — a
+// variable fan-out combinatorial search in the solver family the paper's
+// model targets.
+//
+// cutoff bounds the depth below which the task solves sequentially instead
+// of delegating, the standard grain-size control of fork-join runtimes;
+// cutoff 0 delegates all the way to the leaves.
+func QueensTask(cutoff int) recursion.Task {
+	return func(f *recursion.Frame, arg recursion.Value) recursion.Value {
+		st := arg.(QueensState)
+		row := len(st.Cols)
+		if row == st.N {
+			return 1
+		}
+		if st.N-row <= cutoff {
+			return queensSeqCount(st)
+		}
+		spawned := 0
+		for col := int8(0); int(col) < st.N; col++ {
+			if st.safe(col) {
+				f.Call(st.extend(col))
+				spawned++
+			}
+		}
+		if spawned == 0 {
+			return 0
+		}
+		total := 0
+		for _, v := range f.Sync() {
+			total += v.(int)
+		}
+		return total
+	}
+}
+
+// queensSeqCount finishes a partial placement sequentially.
+func queensSeqCount(st QueensState) int {
+	if len(st.Cols) == st.N {
+		return 1
+	}
+	total := 0
+	for col := int8(0); int(col) < st.N; col++ {
+		if st.safe(col) {
+			total += queensSeqCount(st.extend(col))
+		}
+	}
+	return total
+}
+
+// QueensSeq counts N-Queens solutions sequentially — the reference the
+// distributed count is validated against.
+func QueensSeq(n int) int {
+	return queensSeqCount(QueensState{N: n})
+}

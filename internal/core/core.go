@@ -1,0 +1,216 @@
+// Package core assembles the five-layer solver stack of Tarawneh et al.
+// (P2S2 2017) into a single Machine: a simulated hyperspace computer
+// (layer 1), node-level scheduling (layer 2), ticketed mapping (layer 3),
+// the continuation-based recursion runtime (layer 4) and a user task
+// (layer 5). It is the primary entry point of the library: configure a
+// Machine, Run a task, read the result and the activity metrics.
+package core
+
+import (
+	"fmt"
+
+	"hypersolve/internal/mapping"
+	"hypersolve/internal/mesh"
+	"hypersolve/internal/metrics"
+	"hypersolve/internal/recursion"
+	"hypersolve/internal/sched"
+	"hypersolve/internal/simulator"
+)
+
+// Config selects one implementation per layer, mirroring the paper's vision
+// of assembling applications from a repertoire of per-layer modules
+// (Section VII).
+type Config struct {
+	// Topology is the layer-1 interconnect (required).
+	Topology mesh.Topology
+	// Mapper is the layer-3 mapping algorithm factory (required).
+	Mapper mapping.Factory
+	// Task is the layer-5 recursive function (required).
+	Task recursion.Task
+
+	// ProcsPerNode and ActivationsPerStep configure layer 2 (default 1).
+	ProcsPerNode       int
+	ActivationsPerStep int
+	// Policy is the node-level scheduling discipline (default round-robin).
+	Policy sched.Policy
+
+	// Root is the process that receives the trigger (default PID 0).
+	Root sched.PID
+
+	// CancelSpeculative enables the recursion layer's speculative
+	// cancellation extension: when a Choose resolves, the losing branches
+	// are revoked across the mesh instead of running to completion. Off by
+	// default (the paper's semantics).
+	CancelSpeculative bool
+
+	// Seed drives all randomness in the stack.
+	Seed int64
+	// MaxSteps bounds the simulation (default simulator's 4M).
+	MaxSteps int64
+	// RecordSeries enables the per-step interconnect activity trace.
+	RecordSeries bool
+
+	// Link carries the optional layer-1 link-model extensions (latency,
+	// bandwidth, bounded queues, loss + reliability). Topology, Factory,
+	// Seed, MaxSteps and RecordSeries set here are overridden by the
+	// fields above.
+	Link simulator.Config
+}
+
+// Result is the outcome of one Machine run.
+type Result struct {
+	// Value is the root task's return value; OK is false when the run hit
+	// MaxSteps before the root completed.
+	Value recursion.Value
+	OK    bool
+
+	// Stats are the raw layer-1 statistics.
+	Stats simulator.Stats
+
+	// ComputationTime is the paper's performance denominator: simulation
+	// steps between the first and last messages.
+	ComputationTime int64
+	// Performance is 1/ComputationTime, the paper's Figure 4 y-axis.
+	Performance float64
+
+	// QueuedSeries is the interconnect activity trace (Figure 5 top),
+	// present when Config.RecordSeries was set.
+	QueuedSeries metrics.Series
+	// ReceivedPerProcess is the node activity metric (Figure 5 bottom):
+	// layer-3 messages delivered to each process.
+	ReceivedPerProcess []int64
+	// FramesPerProcess counts task invocations evaluated by each process.
+	FramesPerProcess []int64
+	// FramesCancelled counts invocations abandoned by speculative
+	// cancellation across the whole machine.
+	FramesCancelled int64
+}
+
+// Machine is a configured five-layer stack, ready to run one computation.
+type Machine struct {
+	cfg Config
+	net *mapping.Network
+}
+
+// New validates the configuration and builds the stack.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: Config.Topology is nil")
+	}
+	if cfg.Mapper == nil {
+		return nil, fmt.Errorf("core: Config.Mapper is nil")
+	}
+	if cfg.Task == nil {
+		return nil, fmt.Errorf("core: Config.Task is nil")
+	}
+	simCfg := cfg.Link
+	simCfg.Seed = cfg.Seed
+	if cfg.MaxSteps > 0 {
+		simCfg.MaxSteps = cfg.MaxSteps
+	}
+	simCfg.RecordSeries = cfg.RecordSeries
+	net, err := mapping.New(mapping.Config{
+		Physical:           cfg.Topology,
+		ProcsPerNode:       cfg.ProcsPerNode,
+		ActivationsPerStep: cfg.ActivationsPerStep,
+		Policy:             cfg.Policy,
+		Mapper:             cfg.Mapper,
+		Factory:            recursion.AppFactoryOpts(cfg.Task, recursion.Options{CancelSpeculative: cfg.CancelSpeculative}),
+		Seed:               cfg.Seed,
+		Sim:                simCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	procs := cfg.ProcsPerNode
+	if procs < 1 {
+		procs = 1
+	}
+	if int(cfg.Root) < 0 || int(cfg.Root) >= cfg.Topology.Size()*procs {
+		return nil, fmt.Errorf("core: root PID %d out of range", cfg.Root)
+	}
+	return &Machine{cfg: cfg, net: net}, nil
+}
+
+// Network exposes the underlying layer-3 network for advanced inspection.
+func (m *Machine) Network() *mapping.Network { return m.net }
+
+// Run triggers the task with the given argument at the root process, runs
+// the simulation to quiescence (or MaxSteps) and collects the result.
+// A Machine instance runs once; build a new one for another run.
+func (m *Machine) Run(arg recursion.Value) (Result, error) {
+	if err := m.net.Trigger(m.cfg.Root, arg); err != nil {
+		return Result{}, err
+	}
+	stats := m.net.Run()
+
+	res := Result{
+		Stats:           stats,
+		ComputationTime: stats.ComputationTime(),
+		QueuedSeries:    metrics.Series(stats.QueuedSeries),
+	}
+	if res.ComputationTime > 0 {
+		res.Performance = 1 / float64(res.ComputationTime)
+	}
+	res.ReceivedPerProcess = m.net.ReceivedPerProcess()
+
+	size := m.net.Virtual().Size()
+	res.FramesPerProcess = make([]int64, size)
+	for pid := 0; pid < size; pid++ {
+		rt := m.net.App(sched.PID(pid)).(*recursion.Runtime)
+		res.FramesPerProcess[pid] = rt.FramesStarted()
+		res.FramesCancelled += rt.FramesCancelled()
+	}
+
+	rootRT := m.net.App(m.cfg.Root).(*recursion.Runtime)
+	res.Value, res.OK = rootRT.RootResult()
+
+	if !stats.Quiescent {
+		// Abandoned run: unwind outstanding frames so their goroutines
+		// exit rather than leak.
+		for pid := 0; pid < size; pid++ {
+			m.net.App(sched.PID(pid)).(*recursion.Runtime).Abort()
+		}
+	}
+	return res, nil
+}
+
+// NodeHeatmap folds the per-process received counts onto the physical
+// topology's first two embedding dimensions — the paper's Figure 5 node
+// activity heatmap. Topologies with more dimensions are projected onto the
+// first two; 1D topologies produce a single row.
+func (m *Machine) NodeHeatmap(res Result) *metrics.Heatmap {
+	topo := m.cfg.Topology
+	dims := topo.Dims()
+	w := dims[0]
+	h := 1
+	if len(dims) > 1 {
+		h = dims[1]
+	}
+	hm := metrics.NewHeatmap(w, h)
+	procs := m.cfg.ProcsPerNode
+	if procs < 1 {
+		procs = 1
+	}
+	for pid, count := range res.ReceivedPerProcess {
+		node := mesh.NodeID(pid / procs)
+		c := topo.Coords(node)
+		x := c[0]
+		y := 0
+		if len(c) > 1 {
+			y = c[1]
+		}
+		hm.Add(x, y, float64(count))
+	}
+	return hm
+}
+
+// RunOnce is a convenience wrapper: build a Machine from cfg, run arg, and
+// return the result.
+func RunOnce(cfg Config, arg recursion.Value) (Result, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(arg)
+}

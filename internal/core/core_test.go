@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypersolve/internal/apps"
+	"hypersolve/internal/mapping"
+	"hypersolve/internal/mesh"
+	"hypersolve/internal/recursion"
+	"hypersolve/internal/sat"
+	"hypersolve/internal/sched"
+)
+
+func TestMachineRunsSum(t *testing.T) {
+	res, err := RunOnce(Config{
+		Topology:     mesh.MustTorus(5, 5),
+		Mapper:       mapping.NewRoundRobin(),
+		Task:         apps.SumTask(),
+		RecordSeries: true,
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value.(int) != 55 {
+		t.Fatalf("sum(10) = %v (ok=%v)", res.Value, res.OK)
+	}
+	if res.ComputationTime <= 0 {
+		t.Error("ComputationTime should be positive")
+	}
+	if res.Performance <= 0 || res.Performance > 1 {
+		t.Errorf("Performance = %v", res.Performance)
+	}
+	if len(res.QueuedSeries) == 0 {
+		t.Error("QueuedSeries missing despite RecordSeries")
+	}
+	var frames int64
+	for _, f := range res.FramesPerProcess {
+		frames += f
+	}
+	if frames != 11 { // sum(10) evaluates frames for 10..0
+		t.Errorf("total frames = %d, want 11", frames)
+	}
+}
+
+func TestMachineSolvesSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := sat.Random3SAT(rng, 12, 50)
+	want := sat.Solve(f, sat.Options{}).Status
+	res, err := RunOnce(Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewLeastBusy(),
+		Task:     sat.Task(sat.FirstUnassigned),
+	}, sat.NewProblem(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("no result")
+	}
+	out := res.Value.(sat.Outcome)
+	if out.Status != want {
+		t.Errorf("distributed %v != sequential %v", out.Status, want)
+	}
+	if out.Status == sat.SAT && !sat.Verify(f, out.Assignment) {
+		t.Error("assignment does not verify")
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	base := Config{
+		Topology: mesh.MustRing(4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.SumTask(),
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Topology = nil },
+		func(c *Config) { c.Mapper = nil },
+		func(c *Config) { c.Task = nil },
+		func(c *Config) { c.Root = 99 },
+		func(c *Config) { c.Root = -1 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("expected config error for %+v", cfg)
+		}
+	}
+}
+
+func TestMachineMaxStepsAbortsCleanly(t *testing.T) {
+	infinite := func(f *recursion.Frame, arg recursion.Value) recursion.Value {
+		return f.CallSync(arg)
+	}
+	res, err := RunOnce(Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     infinite,
+		MaxSteps: 40,
+	}, "spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Error("infinite task should not produce a result")
+	}
+	if res.Stats.Quiescent {
+		t.Error("run should not be quiescent")
+	}
+}
+
+func TestMachineRootPlacement(t *testing.T) {
+	res, err := RunOnce(Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.SumTask(),
+		Root:     sched.PID(7),
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value.(int) != 15 {
+		t.Fatalf("sum(5) at root 7 = %v (ok=%v)", res.Value, res.OK)
+	}
+	if res.FramesPerProcess[7] == 0 {
+		t.Error("root process evaluated no frames")
+	}
+}
+
+func TestMachineProcsPerNode(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		res, err := RunOnce(Config{
+			Topology:     mesh.MustTorus(3, 3),
+			Mapper:       mapping.NewRoundRobin(),
+			Task:         apps.FibTask(),
+			ProcsPerNode: procs,
+		}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || res.Value.(int) != 55 {
+			t.Errorf("procs=%d: fib(10) = %v (ok=%v)", procs, res.Value, res.OK)
+		}
+		if len(res.FramesPerProcess) != 9*procs {
+			t.Errorf("procs=%d: FramesPerProcess length %d", procs, len(res.FramesPerProcess))
+		}
+	}
+}
+
+func TestNodeHeatmapAccumulates(t *testing.T) {
+	m, err := New(Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.FibTask(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := m.NodeHeatmap(res)
+	if hm.W != 4 || hm.H != 4 {
+		t.Fatalf("heatmap dims %dx%d", hm.W, hm.H)
+	}
+	var wantTotal float64
+	for _, c := range res.ReceivedPerProcess {
+		wantTotal += float64(c)
+	}
+	if hm.Total() != wantTotal {
+		t.Errorf("heatmap total %v != received total %v", hm.Total(), wantTotal)
+	}
+	if hm.Max() == 0 {
+		t.Error("heatmap is empty")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Result {
+		res, err := RunOnce(Config{
+			Topology:     mesh.MustTorus(4, 4),
+			Mapper:       mapping.NewLeastBusy(),
+			Task:         apps.FibTask(),
+			Seed:         99,
+			RecordSeries: true,
+		}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ComputationTime != b.ComputationTime {
+		t.Errorf("computation times differ: %d vs %d", a.ComputationTime, b.ComputationTime)
+	}
+	if a.Stats.TotalSent != b.Stats.TotalSent {
+		t.Errorf("message counts differ")
+	}
+	for i := range a.QueuedSeries {
+		if a.QueuedSeries[i] != b.QueuedSeries[i] {
+			t.Fatalf("series diverge at %d", i)
+		}
+	}
+}
+
+func TestLinkModelPassThrough(t *testing.T) {
+	// With latency 3 the same workload takes longer.
+	base := Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.SumTask(),
+	}
+	fast, err := RunOnce(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := base
+	slow.Link.LinkLatency = 3
+	slowRes, err := RunOnce(slow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRes.ComputationTime <= fast.ComputationTime {
+		t.Errorf("latency 3 (%d steps) not slower than latency 1 (%d steps)",
+			slowRes.ComputationTime, fast.ComputationTime)
+	}
+}
+
+func TestCancelSpeculativePreservesSATVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 6; i++ {
+		f := sat.Random3SAT(rng, 12, 48+i)
+		want := sat.Solve(f, sat.Options{}).Status
+		res, err := RunOnce(Config{
+			Topology:          mesh.MustTorus(5, 5),
+			Mapper:            mapping.NewLeastBusy(),
+			Task:              sat.Task(sat.FirstUnassigned),
+			CancelSpeculative: true,
+		}, sat.NewProblem(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatal("no result")
+		}
+		out := res.Value.(sat.Outcome)
+		if out.Status != want {
+			t.Errorf("instance %d: cancel-mode %v != sequential %v", i, out.Status, want)
+		}
+		if out.Status == sat.SAT && !sat.Verify(f, out.Assignment) {
+			t.Errorf("instance %d: invalid assignment", i)
+		}
+		if want == sat.SAT && res.FramesCancelled == 0 {
+			t.Errorf("instance %d: SAT run cancelled no frames", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package mapping
+
+import (
+	"testing"
+
+	"hypersolve/internal/sched"
+)
+
+// BenchmarkChoose measures per-send mapping decision cost at degree 6 (3D
+// torus) and degree 255 (fully connected).
+func BenchmarkChoose(b *testing.B) {
+	mkView := func(deg int) View {
+		nbrs := make([]sched.PID, deg)
+		loads := make([]int64, deg)
+		outstanding := make([]float64, deg)
+		for i := range nbrs {
+			nbrs[i] = sched.PID(i + 1)
+			loads[i] = int64(i % 7)
+		}
+		return View{Neighbours: nbrs, Loads: loads, Outstanding: outstanding}
+	}
+	for _, deg := range []int{6, 255} {
+		v := mkView(deg)
+		for _, f := range []struct {
+			name string
+			mk   Factory
+		}{
+			{"rr", NewRoundRobin()},
+			{"lbn", NewLeastBusy()},
+			{"weighted", NewWeighted(1)},
+			{"random", NewRandom()},
+		} {
+			algo := f.mk(0, v.Neighbours, 1)
+			b.Run(f.name+"/deg-"+itoa(deg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					algo.Choose(v)
+				}
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}

@@ -1,0 +1,29 @@
+package mesh
+
+import "testing"
+
+// BenchmarkNeighbours measures adjacency lookup, the hottest topology call.
+func BenchmarkNeighbours(b *testing.B) {
+	for _, topo := range []Topology{MustTorus(32, 32), MustHypercube(10), MustFullyConnected(1024)} {
+		b.Run(topo.Name(), func(b *testing.B) {
+			size := topo.Size()
+			for i := 0; i < b.N; i++ {
+				_ = topo.Neighbours(NodeID(i % size))
+			}
+		})
+	}
+}
+
+// BenchmarkConstruct measures topology construction (adjacency precompute).
+func BenchmarkConstruct(b *testing.B) {
+	b.Run("torus-32x32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MustTorus(32, 32)
+		}
+	})
+	b.Run("hypercube-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MustHypercube(10)
+		}
+	})
+}

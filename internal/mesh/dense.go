@@ -1,0 +1,149 @@
+package mesh
+
+import "fmt"
+
+// fullyConnected links every pair of nodes directly. It is the idealised
+// baseline of the paper's Figure 4 ("Fully connected"): mapping decisions
+// are unconstrained because every node is a neighbour of every other.
+type fullyConnected struct {
+	size int
+	nbrs [][]NodeID
+}
+
+// NewFullyConnected constructs a complete graph on size nodes.
+func NewFullyConnected(size int) (Topology, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mesh: fully connected size %d < 1", size)
+	}
+	if size > 1<<14 {
+		return nil, fmt.Errorf("mesh: fully connected size %d too large (adjacency is O(n^2))", size)
+	}
+	f := &fullyConnected{size: size}
+	f.nbrs = make([][]NodeID, size)
+	for id := 0; id < size; id++ {
+		nbrs := make([]NodeID, 0, size-1)
+		for j := 0; j < size; j++ {
+			if j != id {
+				nbrs = append(nbrs, NodeID(j))
+			}
+		}
+		f.nbrs[id] = nbrs
+	}
+	return f, nil
+}
+
+// MustFullyConnected is NewFullyConnected that panics on error.
+func MustFullyConnected(size int) Topology {
+	t, err := NewFullyConnected(size)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (f *fullyConnected) Name() string                 { return "full" }
+func (f *fullyConnected) Size() int                    { return f.size }
+func (f *fullyConnected) Degree(n NodeID) int          { return f.size - 1 }
+func (f *fullyConnected) Neighbours(n NodeID) []NodeID { return f.nbrs[n] }
+func (f *fullyConnected) Coords(n NodeID) []int        { return []int{int(n)} }
+func (f *fullyConnected) Dims() []int                  { return []int{f.size} }
+
+func (f *fullyConnected) Distance(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// ring is a 1D torus, provided as a distinct named topology because it is
+// the degenerate case mapping algorithms handle worst (minimal choice).
+type ring struct {
+	Topology
+}
+
+// NewRing constructs a cycle of size nodes (size >= 3).
+func NewRing(size int) (Topology, error) {
+	if size < 3 {
+		return nil, fmt.Errorf("mesh: ring size %d < 3", size)
+	}
+	l, err := newLattice("ring", []int{size}, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ring{Topology: l}, nil
+}
+
+// MustRing is NewRing that panics on error.
+func MustRing(size int) Topology {
+	t, err := NewRing(size)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// star connects one hub (node 0) to every leaf. It is not a hyperspace
+// topology — the hub violates the "no global communication" principle — and
+// exists to demonstrate, in tests and ablations, why such centralised
+// layouts bottleneck: all traffic serialises through the hub's single
+// message-per-step delivery budget.
+type star struct {
+	size int
+	hub  []NodeID
+	leaf [][]NodeID
+}
+
+// NewStar constructs a star with one hub and size-1 leaves (size >= 2).
+func NewStar(size int) (Topology, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mesh: star size %d < 2", size)
+	}
+	s := &star{size: size}
+	s.hub = make([]NodeID, 0, size-1)
+	s.leaf = make([][]NodeID, size)
+	for j := 1; j < size; j++ {
+		s.hub = append(s.hub, NodeID(j))
+		s.leaf[j] = []NodeID{0}
+	}
+	return s, nil
+}
+
+// MustStar is NewStar that panics on error.
+func MustStar(size int) Topology {
+	t, err := NewStar(size)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (s *star) Name() string { return "star" }
+func (s *star) Size() int    { return s.size }
+
+func (s *star) Degree(n NodeID) int {
+	if n == 0 {
+		return s.size - 1
+	}
+	return 1
+}
+
+func (s *star) Neighbours(n NodeID) []NodeID {
+	if n == 0 {
+		return s.hub
+	}
+	return s.leaf[n]
+}
+
+func (s *star) Coords(n NodeID) []int { return []int{int(n)} }
+func (s *star) Dims() []int           { return []int{s.size} }
+
+func (s *star) Distance(a, b NodeID) int {
+	switch {
+	case a == b:
+		return 0
+	case a == 0 || b == 0:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,146 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Spec describes a topology as a parseable string so that command-line
+// tools and experiment configs can name machines uniformly:
+//
+//	torus:14x14        2D torus, 196 cores
+//	torus:6x6x6        3D torus, 216 cores
+//	grid:8x8           2D grid without wraparound
+//	hypercube:7        128-core hypercube
+//	full:256           fully connected, 256 cores
+//	ring:64            64-core ring
+//	star:32            hub-and-spoke, 32 cores
+type Spec string
+
+// Parse builds the topology described by the spec string.
+func Parse(spec string) (Topology, error) {
+	kind, arg, ok := strings.Cut(string(Spec(spec)), ":")
+	if !ok {
+		return nil, fmt.Errorf("mesh: spec %q missing ':' separator", spec)
+	}
+	switch kind {
+	case "torus", "grid":
+		parts := strings.Split(arg, "x")
+		dims := make([]int, 0, len(parts))
+		for _, p := range parts {
+			d, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("mesh: spec %q has bad extent %q", spec, p)
+			}
+			dims = append(dims, d)
+		}
+		if kind == "torus" {
+			return NewTorus(dims...)
+		}
+		return NewGrid(dims...)
+	case "hypercube":
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: spec %q has bad dimension %q", spec, arg)
+		}
+		return NewHypercube(d)
+	case "full":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: spec %q has bad size %q", spec, arg)
+		}
+		return NewFullyConnected(n)
+	case "ring":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: spec %q has bad size %q", spec, arg)
+		}
+		return NewRing(n)
+	case "star":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: spec %q has bad size %q", spec, arg)
+		}
+		return NewStar(n)
+	default:
+		return nil, fmt.Errorf("mesh: unknown topology kind %q (want torus|grid|hypercube|full|ring|star)", kind)
+	}
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(spec string) Topology {
+	t, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SquareTorus returns the 2D torus whose side is the integer square root of
+// cores, i.e. the largest k with k*k <= cores. The paper's 2D series uses
+// square machines (e.g. 196 cores = 14x14).
+func SquareTorus(cores int) (Topology, error) {
+	k := intRoot(cores, 2)
+	if k*k != cores {
+		return nil, fmt.Errorf("mesh: %d is not a perfect square", cores)
+	}
+	return NewTorus(k, k)
+}
+
+// CubeTorus returns the 3D torus with side = cube root of cores.
+func CubeTorus(cores int) (Topology, error) {
+	k := intRoot(cores, 3)
+	if k*k*k != cores {
+		return nil, fmt.Errorf("mesh: %d is not a perfect cube", cores)
+	}
+	return NewTorus(k, k, k)
+}
+
+// intRoot returns floor(cores^(1/deg)) computed robustly against floating
+// point error.
+func intRoot(cores, deg int) int {
+	if cores <= 0 {
+		return 0
+	}
+	k := int(math.Round(math.Pow(float64(cores), 1/float64(deg))))
+	for pow(k, deg) > cores {
+		k--
+	}
+	for pow(k+1, deg) <= cores {
+		k++
+	}
+	return k
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// SquareSizes returns perfect-square core counts in [lo, hi], the natural
+// sweep points for 2D torus scalability experiments.
+func SquareSizes(lo, hi int) []int {
+	var out []int
+	for k := 1; k*k <= hi; k++ {
+		if c := k * k; c >= lo {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CubeSizes returns perfect-cube core counts in [lo, hi].
+func CubeSizes(lo, hi int) []int {
+	var out []int
+	for k := 1; k*k*k <= hi; k++ {
+		if c := k * k * k; c >= lo {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+// Package metrics collects and renders the measurements of the paper's
+// evaluation (Section V-C): computation time, interconnect activity (total
+// queued messages versus time) and node activity (total messages delivered
+// per node), plus the summary statistics and text renderings used to
+// regenerate the figures on a terminal.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a time series of per-step measurements (e.g. queued messages).
+type Series []int
+
+// Max returns the largest value, or 0 for an empty series.
+func (s Series) Max() int {
+	max := 0
+	for _, v := range s {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Sum returns the series total (the time-integral of activity).
+func (s Series) Sum() int64 {
+	var total int64
+	for _, v := range s {
+		total += int64(v)
+	}
+	return total
+}
+
+// Mean returns the average value, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return float64(s.Sum()) / float64(len(s))
+}
+
+// ArgMax returns the index of the first maximum, or -1 for empty series.
+func (s Series) ArgMax() int {
+	if len(s) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range s {
+		if v > s[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Downsample reduces the series to at most buckets points by averaging
+// windows; used to fit long traces into terminal plots.
+func (s Series) Downsample(buckets int) Series {
+	if buckets <= 0 || len(s) <= buckets {
+		return append(Series(nil), s...)
+	}
+	out := make(Series, buckets)
+	for b := 0; b < buckets; b++ {
+		lo := b * len(s) / buckets
+		hi := (b + 1) * len(s) / buckets
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0
+		for _, v := range s[lo:hi] {
+			sum += v
+		}
+		out[b] = sum / (hi - lo)
+	}
+	return out
+}
+
+// Summary holds the distribution statistics reported for experiment runs.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	Median        float64
+	GeometricMean float64
+}
+
+// Summarize computes summary statistics of a sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum, logSum float64
+	logOK := true
+	for _, x := range xs {
+		sum += x
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			logOK = false
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if logOK {
+		s.GeometricMean = math.Exp(logSum / float64(len(xs)))
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Heatmap is a 2D grid of accumulated per-node counts, the paper's node
+// activity visualisation (Figure 5, bottom row).
+type Heatmap struct {
+	W, H  int
+	Cells []float64 // row-major: Cells[y*W+x]
+}
+
+// NewHeatmap allocates a zeroed W x H heatmap.
+func NewHeatmap(w, h int) *Heatmap {
+	return &Heatmap{W: w, H: h, Cells: make([]float64, w*h)}
+}
+
+// Add accumulates a count at (x, y).
+func (h *Heatmap) Add(x, y int, v float64) {
+	if x < 0 || x >= h.W || y < 0 || y >= h.H {
+		return
+	}
+	h.Cells[y*h.W+x] += v
+}
+
+// At returns the value at (x, y).
+func (h *Heatmap) At(x, y int) float64 { return h.Cells[y*h.W+x] }
+
+// Max returns the largest cell value.
+func (h *Heatmap) Max() float64 {
+	max := 0.0
+	for _, v := range h.Cells {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Total returns the sum of all cells.
+func (h *Heatmap) Total() float64 {
+	var t float64
+	for _, v := range h.Cells {
+		t += v
+	}
+	return t
+}
+
+// ImbalanceCV returns the coefficient of variation (std/mean) across cells:
+// a scalar measure of spatial load imbalance (0 = perfectly even).
+func (h *Heatmap) ImbalanceCV() float64 {
+	xs := make([]float64, len(h.Cells))
+	copy(xs, h.Cells)
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// shades are the glyph ramp for ASCII heatmaps and sparklines.
+var shades = []rune(" .:-=+*#%@")
+
+// Render draws the heatmap as ASCII art, one glyph per cell, normalised to
+// the maximum.
+func (h *Heatmap) Render() string {
+	max := h.Max()
+	var b strings.Builder
+	for y := 0; y < h.H; y++ {
+		for x := 0; x < h.W; x++ {
+			b.WriteRune(shade(h.At(x, y), max))
+			b.WriteRune(' ')
+		}
+		b.WriteRune('\n')
+	}
+	return b.String()
+}
+
+func shade(v, max float64) rune {
+	if max <= 0 {
+		return shades[0]
+	}
+	idx := int(v / max * float64(len(shades)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// Sparkline renders a series as a single line of glyphs, downsampled to
+// width characters.
+func Sparkline(s Series, width int) string {
+	ds := s.Downsample(width)
+	max := ds.Max()
+	var b strings.Builder
+	for _, v := range ds {
+		b.WriteRune(shade(float64(v), float64(max)))
+	}
+	return b.String()
+}
+
+// AsciiPlot renders a series as a height x width scatter of '*', with axis
+// annotations, for Figure 5-style queued-messages traces.
+func AsciiPlot(s Series, width, height int) string {
+	if len(s) == 0 || width <= 0 || height <= 0 {
+		return "(empty series)\n"
+	}
+	ds := s.Downsample(width)
+	max := ds.Max()
+	if max == 0 {
+		max = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(ds)))
+	}
+	for x, v := range ds {
+		y := height - 1 - v*(height-1)/max
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d ┤%s\n", max, string(grid[0]))
+	for y := 1; y < height-1; y++ {
+		fmt.Fprintf(&b, "%6s │%s\n", "", string(grid[y]))
+	}
+	fmt.Fprintf(&b, "%6d └%s\n", 0, strings.Repeat("─", len(ds)))
+	fmt.Fprintf(&b, "%7s0%*d steps\n", "", len(ds)-1, len(s))
+	return b.String()
+}
+
+// CSV renders rows of named columns as comma-separated text with a header,
+// for piping experiment results into external plotting tools.
+func CSV(header []string, rows [][]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				fmt.Fprintf(&b, "%d", int64(v))
+			} else {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package recursion
+
+import (
+	"testing"
+
+	"hypersolve/internal/mapping"
+	"hypersolve/internal/mesh"
+)
+
+// BenchmarkFrameOverhead measures the cost of the goroutine-continuation
+// machinery: a fib(14) run creates ~1200 frames, each with one goroutine
+// and two channel handshakes per yield.
+func BenchmarkFrameOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net, err := mapping.New(mapping.Config{
+			Physical: mesh.MustTorus(8, 8),
+			Mapper:   mapping.NewRoundRobin(),
+			Factory:  AppFactory(fibTask),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Trigger(0, 14); err != nil {
+			b.Fatal(err)
+		}
+		if stats := net.Run(); !stats.Quiescent {
+			b.Fatal("no quiescence")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heuristic selects the branching literal of DPLL. The paper deliberately
+// uses an "algorithm-independent heuristic" (Listing 4 line 12); these
+// implementations cover the standard spectrum from naive to
+// occurrence-weighted, and serve as the A3 ablation axis.
+type Heuristic int
+
+const (
+	// FirstUnassigned picks the first literal of the first clause: the
+	// barebone choice, producing the bushiest trees (and therefore the
+	// most distributable work). Default for the paper reproduction.
+	FirstUnassigned Heuristic = iota
+	// MostFrequent picks the literal occurring most often.
+	MostFrequent
+	// JeroslowWang scores literals by sum over clauses of 2^-|clause|.
+	JeroslowWang
+	// DLIS (dynamic largest individual sum) picks the literal whose
+	// polarity occurs most often among remaining clauses.
+	DLIS
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case FirstUnassigned:
+		return "first"
+	case MostFrequent:
+		return "freq"
+	case JeroslowWang:
+		return "jw"
+	case DLIS:
+		return "dlis"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// ParseHeuristic resolves a heuristic spec string.
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "first":
+		return FirstUnassigned, nil
+	case "freq":
+		return MostFrequent, nil
+	case "jw":
+		return JeroslowWang, nil
+	case "dlis":
+		return DLIS, nil
+	default:
+		return 0, fmt.Errorf("sat: unknown heuristic %q (want first|freq|jw|dlis)", s)
+	}
+}
+
+// SelectLiteral returns the branching literal for a problem that is neither
+// consistent nor contradicted. It panics if no literal exists (callers must
+// check Consistent / HasEmptyClause first).
+func SelectLiteral(p *Problem, h Heuristic) Lit {
+	switch h {
+	case MostFrequent:
+		return selectByCount(p, false)
+	case DLIS:
+		return selectByCount(p, true)
+	case JeroslowWang:
+		return selectJW(p)
+	default:
+		for _, c := range p.Clauses {
+			if len(c) > 0 {
+				return c[0]
+			}
+		}
+	}
+	panic("sat: SelectLiteral on a problem with no literals")
+}
+
+// selectByCount picks the most frequent variable (polarity-insensitive) or,
+// for DLIS, the single most frequent literal.
+func selectByCount(p *Problem, perLiteral bool) Lit {
+	pos := make([]int, p.NumVars+1)
+	neg := make([]int, p.NumVars+1)
+	for _, c := range p.Clauses {
+		for _, l := range c {
+			if l.Positive() {
+				pos[l.Var()]++
+			} else {
+				neg[l.Var()]++
+			}
+		}
+	}
+	best, bestScore := Lit(0), -1
+	for v := 1; v <= p.NumVars; v++ {
+		if perLiteral {
+			if pos[v] > bestScore {
+				best, bestScore = NewLit(v, true), pos[v]
+			}
+			if neg[v] > bestScore {
+				best, bestScore = NewLit(v, false), neg[v]
+			}
+		} else if score := pos[v] + neg[v]; score > bestScore && score > 0 {
+			// Branch on the majority polarity first.
+			best, bestScore = NewLit(v, pos[v] >= neg[v]), score
+		}
+	}
+	if best == 0 {
+		panic("sat: selectByCount on a problem with no literals")
+	}
+	return best
+}
+
+// selectJW implements the (one-sided) Jeroslow-Wang rule.
+func selectJW(p *Problem) Lit {
+	score := make(map[Lit]float64, p.NumVars*2)
+	for _, c := range p.Clauses {
+		w := math.Pow(2, -float64(len(c)))
+		for _, l := range c {
+			score[l] += w
+		}
+	}
+	best, bestScore := Lit(0), -1.0
+	// Iterate variables in order for determinism (map order is random).
+	for v := 1; v <= p.NumVars; v++ {
+		for _, l := range []Lit{NewLit(v, true), NewLit(v, false)} {
+			if s, ok := score[l]; ok && s > bestScore {
+				best, bestScore = l, s
+			}
+		}
+	}
+	if best == 0 {
+		panic("sat: selectJW on a problem with no literals")
+	}
+	return best
+}

@@ -1,0 +1,262 @@
+package sat
+
+// Problem is a partially solved CNF instance: the not-yet-satisfied clauses
+// (with falsified literals removed) plus the partial assignment accumulated
+// so far. It is the self-contained sub-problem payload that travels between
+// nodes in the distributed solver, and the working state of the sequential
+// one.
+type Problem struct {
+	NumVars int
+	Clauses []Clause
+	Assign  Assignment
+}
+
+// NewProblem wraps a formula into an unassigned problem, copying clauses.
+func NewProblem(f Formula) *Problem {
+	p := &Problem{NumVars: f.NumVars, Assign: NewAssignment(f.NumVars)}
+	p.Clauses = make([]Clause, len(f.Clauses))
+	for i, c := range f.Clauses {
+		p.Clauses[i] = c.Clone()
+	}
+	return p
+}
+
+// Clone returns an independent deep copy.
+func (p *Problem) Clone() *Problem {
+	out := &Problem{NumVars: p.NumVars, Assign: p.Assign.Clone()}
+	out.Clauses = make([]Clause, len(p.Clauses))
+	for i, c := range p.Clauses {
+		out.Clauses[i] = c.Clone()
+	}
+	return out
+}
+
+// Consistent reports whether every clause has been satisfied (the paper's
+// consistent(problem) test): no clauses remain.
+func (p *Problem) Consistent() bool { return len(p.Clauses) == 0 }
+
+// HasEmptyClause reports whether some clause has had all its literals
+// falsified, i.e. the partial assignment already contradicts the formula.
+func (p *Problem) HasEmptyClause() bool {
+	for _, c := range p.Clauses {
+		if len(c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WithAssignment returns a new problem with the literal made true: satisfied
+// clauses are dropped and falsified literals removed from the rest. The
+// receiver is not modified.
+func (p *Problem) WithAssignment(l Lit) *Problem {
+	out := &Problem{NumVars: p.NumVars, Assign: p.Assign.Clone()}
+	out.Assign.Set(l)
+	out.Clauses = make([]Clause, 0, len(p.Clauses))
+	neg := l.Negate()
+	for _, c := range p.Clauses {
+		satisfied := false
+		for _, cl := range c {
+			if cl == l {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		nc := make(Clause, 0, len(c))
+		for _, cl := range c {
+			if cl != neg {
+				nc = append(nc, cl)
+			}
+		}
+		out.Clauses = append(out.Clauses, nc)
+	}
+	return out
+}
+
+// assignInPlace applies a literal to the problem destructively; used by
+// Simplify which already owns its copy.
+func (p *Problem) assignInPlace(l Lit) {
+	p.Assign.Set(l)
+	neg := l.Negate()
+	kept := p.Clauses[:0]
+	for _, c := range p.Clauses {
+		satisfied := false
+		for _, cl := range c {
+			if cl == l {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		nc := c[:0]
+		for _, cl := range c {
+			if cl != neg {
+				nc = append(nc, cl)
+			}
+		}
+		kept = append(kept, nc)
+	}
+	p.Clauses = kept
+}
+
+// SimplifyStats reports what Simplify did.
+type SimplifyStats struct {
+	UnitPropagations int
+	PureAssignments  int
+}
+
+// SimplifyMode selects how aggressively Simplify runs.
+type SimplifyMode int
+
+const (
+	// OnePass performs a single scan of unit propagation followed by a
+	// single snapshot-based scan of pure-literal assignment, matching the
+	// literal reading of the paper's Listing 4 (lines 6-11: one `for`
+	// loop over clauses, one over literals, per solver invocation). This
+	// leaves more branching to the mesh — the behaviour the evaluation
+	// measures.
+	OnePass SimplifyMode = iota
+	// Fixpoint repeats both rules until neither applies: stronger pruning,
+	// smaller trees, less exposed parallelism. Used as an ablation.
+	Fixpoint
+)
+
+func (m SimplifyMode) String() string {
+	if m == Fixpoint {
+		return "fixpoint"
+	}
+	return "onepass"
+}
+
+// Simplify applies unit propagation and pure-literal elimination to a copy
+// of the problem until fixpoint. It stops early when an empty clause
+// appears. (Sequential solving default; the distributed task defaults to
+// the paper-faithful OnePass via SimplifyWith.)
+func (p *Problem) Simplify() (*Problem, SimplifyStats) {
+	return p.SimplifyWith(Fixpoint)
+}
+
+// SimplifyWith applies the selected simplification mode to a copy of the
+// problem. Both modes are satisfiability-preserving: unit propagation is
+// forced, and a snapshot-pure literal stays pure after other assignments
+// only remove occurrences.
+func (p *Problem) SimplifyWith(mode SimplifyMode) (*Problem, SimplifyStats) {
+	out := p.Clone()
+	var stats SimplifyStats
+	if mode == Fixpoint {
+		for {
+			if out.HasEmptyClause() {
+				return out, stats
+			}
+			if l, ok := out.findUnit(); ok {
+				out.assignInPlace(l)
+				stats.UnitPropagations++
+				continue
+			}
+			if l, ok := out.findPure(); ok {
+				out.assignInPlace(l)
+				stats.PureAssignments++
+				continue
+			}
+			return out, stats
+		}
+	}
+	// OnePass: single forward scan for unit clauses (propagations may
+	// expose further units only at later positions)...
+	for i := 0; i < len(out.Clauses); {
+		if out.HasEmptyClause() {
+			return out, stats
+		}
+		if len(out.Clauses[i]) == 1 {
+			out.assignInPlace(out.Clauses[i][0])
+			stats.UnitPropagations++
+			// assignInPlace compacts the clause list; re-examine index i.
+			continue
+		}
+		i++
+	}
+	if out.HasEmptyClause() {
+		return out, stats
+	}
+	// ...then a single pure-literal scan over a polarity snapshot.
+	const (
+		seenPos = 1
+		seenNeg = 2
+	)
+	snapshot := make([]uint8, p.NumVars+1)
+	for _, c := range out.Clauses {
+		for _, l := range c {
+			if l.Positive() {
+				snapshot[l.Var()] |= seenPos
+			} else {
+				snapshot[l.Var()] |= seenNeg
+			}
+		}
+	}
+	for v := 1; v <= p.NumVars; v++ {
+		switch snapshot[v] {
+		case seenPos:
+			out.assignInPlace(NewLit(v, true))
+			stats.PureAssignments++
+		case seenNeg:
+			out.assignInPlace(NewLit(v, false))
+			stats.PureAssignments++
+		}
+	}
+	return out, stats
+}
+
+func (p *Problem) findUnit() (Lit, bool) {
+	for _, c := range p.Clauses {
+		if len(c) == 1 {
+			return c[0], true
+		}
+	}
+	return 0, false
+}
+
+func (p *Problem) findPure() (Lit, bool) {
+	const (
+		seenPos = 1
+		seenNeg = 2
+	)
+	seen := make([]uint8, p.NumVars+1)
+	for _, c := range p.Clauses {
+		for _, l := range c {
+			if l.Positive() {
+				seen[l.Var()] |= seenPos
+			} else {
+				seen[l.Var()] |= seenNeg
+			}
+		}
+	}
+	for v := 1; v <= p.NumVars; v++ {
+		switch seen[v] {
+		case seenPos:
+			return NewLit(v, true), true
+		case seenNeg:
+			return NewLit(v, false), true
+		}
+	}
+	return 0, false
+}
+
+// FreeVars counts variables that appear in remaining clauses.
+func (p *Problem) FreeVars() int {
+	seen := make([]bool, p.NumVars+1)
+	n := 0
+	for _, c := range p.Clauses {
+		for _, l := range c {
+			if !seen[l.Var()] {
+				seen[l.Var()] = true
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package simulator
+
+import "hypersolve/internal/mesh"
+
+// linkLayer implements the "buffering and reliability" concern of layer 1
+// (paper Figure 2) as a per-link stop-and-wait-free sliding protocol:
+//
+//   - every application message on a (src,dst) link carries a sequence
+//     number,
+//   - the receiver acknowledges each sequence it delivers and suppresses
+//     duplicates,
+//   - the sender buffers unacknowledged messages and retransmits them after
+//     a timeout.
+//
+// Acknowledgement frames themselves may be lost; retransmission of the data
+// frame (answered by a fresh ack) recovers from that. The protocol is
+// invisible to handlers: they observe exactly-once, FIFO-per-link delivery
+// even over lossy links.
+type linkLayer struct {
+	timeout int64
+	// pending holds unacknowledged in-order copies per link.
+	pending map[link][]pendingMsg
+	// nextSeq is the next sequence number to assign per link.
+	nextSeq map[link]uint64
+	// delivered is the receiver-side high-water mark of contiguously
+	// delivered sequences plus a set for out-of-order arrivals.
+	delivered map[link]*dedup
+	// order preserves deterministic iteration over links.
+	order []link
+}
+
+type link struct {
+	src, dst mesh.NodeID
+}
+
+type pendingMsg struct {
+	msg    Message
+	sentAt int64
+}
+
+// dedup tracks which sequence numbers have been delivered on a link.
+type dedup struct {
+	contiguous uint64          // all seq < contiguous delivered
+	sparse     map[uint64]bool // out-of-order deliveries >= contiguous
+}
+
+func (d *dedup) seen(seq uint64) bool {
+	if seq < d.contiguous {
+		return true
+	}
+	return d.sparse[seq]
+}
+
+func (d *dedup) mark(seq uint64) {
+	if seq < d.contiguous {
+		return
+	}
+	d.sparse[seq] = true
+	for d.sparse[d.contiguous] {
+		delete(d.sparse, d.contiguous)
+		d.contiguous++
+	}
+}
+
+func newLinkLayer(timeout int64) *linkLayer {
+	return &linkLayer{
+		timeout:   timeout,
+		pending:   make(map[link][]pendingMsg),
+		nextSeq:   make(map[link]uint64),
+		delivered: make(map[link]*dedup),
+	}
+}
+
+// onSend stamps a fresh sequence number and buffers a copy for retransmit.
+func (l *linkLayer) onSend(s *Simulator, msg *Message) {
+	if msg.Src == mesh.None {
+		return // external injections bypass the protocol
+	}
+	k := link{msg.Src, msg.Dst}
+	if _, ok := l.nextSeq[k]; !ok {
+		l.order = append(l.order, k)
+	}
+	msg.seq = l.nextSeq[k]
+	l.nextSeq[k] = msg.seq + 1
+	l.pending[k] = append(l.pending[k], pendingMsg{msg: *msg, sentAt: s.step})
+}
+
+// onArrival filters an arrived frame. It returns true when the frame is an
+// application message that should be delivered to the handler.
+func (l *linkLayer) onArrival(s *Simulator, node int, msg *Message) bool {
+	if msg.Src == mesh.None {
+		return true
+	}
+	if msg.isAck {
+		// Ack travels dst->src about link (src=msg.Dst... recorded fields
+		// below); drop the matching pending entry.
+		k := link{msg.Dst, msg.Src} // original data direction
+		pend := l.pending[k]
+		for i := range pend {
+			if pend[i].msg.seq == msg.ackSeq {
+				l.pending[k] = append(pend[:i:i], pend[i+1:]...)
+				break
+			}
+		}
+		return false
+	}
+	k := link{msg.Src, msg.Dst}
+	d := l.delivered[k]
+	if d == nil {
+		d = &dedup{sparse: make(map[uint64]bool)}
+		l.delivered[k] = d
+	}
+	dup := d.seen(msg.seq)
+	if !dup {
+		d.mark(msg.seq)
+	}
+	// Always (re-)acknowledge so lost acks get repaired.
+	ack := Message{
+		Src:    msg.Dst,
+		Dst:    msg.Src,
+		SentAt: s.step,
+		isAck:  true,
+		ackSeq: msg.seq,
+	}
+	s.enqueueRaw(ack)
+	return !dup
+}
+
+// retransmit re-sends every pending message older than the timeout.
+func (l *linkLayer) retransmit(s *Simulator) {
+	for _, k := range l.order {
+		pend := l.pending[k]
+		for i := range pend {
+			if s.step-pend[i].sentAt >= l.timeout {
+				pend[i].sentAt = s.step
+				s.stats.TotalRetransmits++
+				s.enqueueRaw(pend[i].msg)
+			}
+		}
+	}
+}
+
+// idle reports whether the protocol holds no unacknowledged messages.
+func (l *linkLayer) idle() bool {
+	for _, pend := range l.pending {
+		if len(pend) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,630 @@
+// Package simulator implements layer 1 of the model of Tarawneh et al.
+// (P2S2 2017): a deterministic, time-stepped message-passing machine
+// simulated on a single processor.
+//
+// Semantics follow Section IV-A and V-A of the paper: the backend keeps
+// message queues, and on each simulation time step a message is popped from
+// each non-empty queue and passed to the destination node's receive
+// handler. The paper's text admits two readings of "each queue", both
+// implemented here (Config.QueueModel):
+//
+//   - NodeQueues (default): one inbox per node, one delivery per node per
+//     step. Node compute is the bottleneck; this model reproduces the
+//     paper's central findings (mapping quality matters, the adaptive
+//     mapper's crossover near 100 cores, round-robin's spatial
+//     concentration in Figure 5).
+//   - LinkQueues: one queue per directed link, one delivery per link per
+//     step, so ingest scales with node degree. Links are the bottleneck;
+//     mapping quality matters much less. Kept as an ablation (see
+//     EXPERIMENTS.md).
+//
+// Messages the handler sends become deliverable on later steps, and may
+// travel only between adjacent nodes of the chosen topology.
+//
+// Beyond the paper's baseline assumptions (unbounded queues, unit latency,
+// one delivery per queue per step, lossless links) the simulator models the
+// remaining layer-1 concerns named in the paper's Figure 2 — buffering,
+// reliability, bandwidth and latency — as configurable extensions:
+//
+//   - LinkLatency: steps a message spends in flight (default 1),
+//   - DeliverPerStep: per-queue delivery bandwidth (default 1),
+//   - QueueCap: bounded link queues with sender-side backpressure (default
+//     unbounded, as the paper assumes),
+//   - LossRate + Reliable: lossy links with a sequence-numbered
+//     ack/retransmit protocol that hides loss from the layers above.
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypersolve/internal/mesh"
+)
+
+// Payload is the application-defined content of a message. The simulator
+// never inspects it.
+type Payload any
+
+// Message is a unit of communication between adjacent nodes.
+type Message struct {
+	Src     mesh.NodeID // sending node, or mesh.None for external injections
+	Dst     mesh.NodeID
+	Payload Payload
+	SentAt  int64 // step at which the message entered the network
+
+	arriveAt int64  // first step at which the message may be delivered
+	seq      uint64 // sequence number on the (src,dst) link, for reliability
+	isAck    bool   // internal acknowledgement frame
+	ackSeq   uint64 // sequence being acknowledged
+}
+
+// Handler is the per-node behaviour: state initialisation plus a receive
+// routine, exactly the (init, receive) pair of the paper's Listing 1.
+type Handler interface {
+	// Init is called once before the simulation starts.
+	Init(ctx *Context)
+	// Receive is called when a message is delivered to this node: at most
+	// DeliverPerStep times per step under NodeQueues, up to degree times
+	// per step under LinkQueues.
+	Receive(ctx *Context, src mesh.NodeID, payload Payload)
+}
+
+// Ticker is an optional extension: handlers implementing it are invoked once
+// per simulation step even when no message arrives. Layers that keep
+// internal buffers (e.g. node-level schedulers) use it to drain them.
+type Ticker interface {
+	Tick(ctx *Context)
+}
+
+// Pending is an optional extension: handlers implementing it can report
+// buffered work that is not yet visible as an in-flight message, which
+// delays quiescence detection.
+type Pending interface {
+	PendingWork() bool
+}
+
+// HandlerFactory builds the handler for one node.
+type HandlerFactory func(node mesh.NodeID) Handler
+
+// Observer receives a callback after every simulation step, for live tracing.
+type Observer interface {
+	AfterStep(step int64, queued int)
+}
+
+// QueueModel selects the queue discipline of the machine (see the package
+// documentation).
+type QueueModel int
+
+const (
+	// NodeQueues gives each node a single inbox drained DeliverPerStep
+	// messages per step (the default, used for the paper reproduction).
+	NodeQueues QueueModel = iota
+	// LinkQueues gives each directed link its own queue drained
+	// DeliverPerStep messages per step, so node ingest scales with degree.
+	LinkQueues
+)
+
+func (m QueueModel) String() string {
+	if m == LinkQueues {
+		return "link-queues"
+	}
+	return "node-queues"
+}
+
+// Config assembles a simulated machine.
+type Config struct {
+	Topology mesh.Topology
+	Factory  HandlerFactory
+
+	// QueueModel selects per-node or per-link queueing (default NodeQueues).
+	QueueModel QueueModel
+
+	// LinkLatency is the number of steps a message spends in flight.
+	// Values below 1 are treated as 1.
+	LinkLatency int64
+
+	// DeliverPerStep bounds how many messages each queue (the node inbox
+	// under NodeQueues, each link queue under LinkQueues) delivers per
+	// step. Values below 1 are treated as 1 (the paper's assumption).
+	DeliverPerStep int
+
+	// QueueCap bounds each queue. Zero means unbounded. When a destination
+	// queue is full the message stays in the sender's outbox and is
+	// retried on subsequent steps (backpressure).
+	QueueCap int
+
+	// LossRate is the independent probability that a message crossing a
+	// link is dropped. Zero disables loss.
+	LossRate float64
+
+	// Reliable enables the ack/retransmit link protocol. It is required
+	// when LossRate > 0 if the layers above expect reliable delivery.
+	Reliable bool
+
+	// RetransmitAfter is the timeout in steps before an unacknowledged
+	// message is retransmitted. Values below 1 default to 8.
+	RetransmitAfter int64
+
+	// MaxSteps aborts the simulation if quiescence is not reached. Values
+	// below 1 default to 4,000,000.
+	MaxSteps int64
+
+	// Seed drives all randomness (loss rolls). Simulations with equal
+	// configs and seeds are bit-for-bit reproducible.
+	Seed int64
+
+	// RecordSeries enables the per-step queued-message time series used by
+	// the paper's Figure 5. Disable for large sweeps to save memory.
+	RecordSeries bool
+
+	// Observer, if non-nil, is invoked after every step.
+	Observer Observer
+}
+
+// Stats reports what happened during a run.
+type Stats struct {
+	// Steps is the total number of steps executed.
+	Steps int64
+	// FirstDelivery and LastDelivery bracket the active phase. The paper's
+	// "computation time" metric is LastDelivery - FirstDelivery + 1.
+	FirstDelivery int64
+	LastDelivery  int64
+	// TotalSent counts application messages entering the network;
+	// TotalDelivered counts handler invocations; TotalDropped counts loss
+	// events; TotalRetransmits counts reliability resends; TotalBlocked
+	// counts step-retries due to full destination queues.
+	TotalSent        int64
+	TotalDelivered   int64
+	TotalDropped     int64
+	TotalRetransmits int64
+	TotalBlocked     int64
+	// DeliveredPerNode is the paper's "node activity" metric: messages
+	// delivered to each node over the whole simulation.
+	DeliveredPerNode []int64
+	// QueuedSeries is the paper's "interconnect activity" metric: total
+	// queued messages across the mesh at each step (only when
+	// Config.RecordSeries is set).
+	QueuedSeries []int
+	// Quiescent is true when the run ended because no messages remained,
+	// false when MaxSteps was exceeded.
+	Quiescent bool
+}
+
+// ComputationTime returns the paper's performance denominator: the number of
+// simulation steps between the first (trigger) and last messages. Runs that
+// delivered nothing report zero.
+func (s Stats) ComputationTime() int64 {
+	if s.TotalDelivered == 0 {
+		return 0
+	}
+	return s.LastDelivery - s.FirstDelivery + 1
+}
+
+// maxTotalLinks bounds memory: per-link queues cost O(links).
+const maxTotalLinks = 1 << 23
+
+// Simulator is a single simulated machine instance. It is not safe for
+// concurrent use; distinct instances are independent.
+type Simulator struct {
+	cfg      Config
+	topo     mesh.Topology
+	rng      *rand.Rand
+	step     int64
+	handlers []Handler
+	contexts []Context
+	// inLinks[node][i] is the queue of messages inbound to node over the
+	// link from its i-th neighbour.
+	inLinks [][]fifo
+	// active[node] lists the indices of node's non-empty inbound link
+	// queues; activeSet mirrors it for O(1) membership tests.
+	active    [][]int32
+	activeSet [][]bool
+	// extQ[node] holds externally injected messages (no link).
+	extQ []fifo
+	// outboxes stage each node's sends until the flush phase.
+	outboxes []fifo
+	// nbrIndex[dst][src] is the inbound link index of src at dst.
+	nbrIndex []map[mesh.NodeID]int
+	links    *linkLayer
+	stats    Stats
+	injected []Message
+	tickers  []Ticker
+	pendings []Pending
+	inFlight int // messages in link queues, external queues and outboxes
+	started  bool
+	scratch  []int32 // reusable delivery snapshot buffer
+}
+
+// New builds a simulator from the config, instantiating one handler per node
+// via the factory. It validates that required fields are present.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("simulator: Config.Topology is nil")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("simulator: Config.Factory is nil")
+	}
+	if cfg.LinkLatency < 1 {
+		cfg.LinkLatency = 1
+	}
+	if cfg.DeliverPerStep < 1 {
+		cfg.DeliverPerStep = 1
+	}
+	if cfg.MaxSteps < 1 {
+		cfg.MaxSteps = 4_000_000
+	}
+	if cfg.RetransmitAfter < 1 {
+		cfg.RetransmitAfter = 8
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		if cfg.LossRate != 0 {
+			return nil, fmt.Errorf("simulator: LossRate %v outside [0,1)", cfg.LossRate)
+		}
+	}
+	if cfg.LossRate > 0 && !cfg.Reliable {
+		return nil, fmt.Errorf("simulator: LossRate %v requires Reliable=true", cfg.LossRate)
+	}
+	n := cfg.Topology.Size()
+	if cfg.QueueModel == LinkQueues {
+		totalLinks := 0
+		for i := 0; i < n; i++ {
+			totalLinks += cfg.Topology.Degree(mesh.NodeID(i))
+		}
+		if totalLinks > maxTotalLinks {
+			return nil, fmt.Errorf("simulator: topology has %d directed links, exceeding the %d limit", totalLinks, maxTotalLinks)
+		}
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		topo:      cfg.Topology,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		handlers:  make([]Handler, n),
+		contexts:  make([]Context, n),
+		inLinks:   make([][]fifo, n),
+		active:    make([][]int32, n),
+		activeSet: make([][]bool, n),
+		extQ:      make([]fifo, n),
+		outboxes:  make([]fifo, n),
+		nbrIndex:  make([]map[mesh.NodeID]int, n),
+		tickers:   make([]Ticker, n),
+		pendings:  make([]Pending, n),
+	}
+	s.stats.DeliveredPerNode = make([]int64, n)
+	if cfg.Reliable {
+		s.links = newLinkLayer(cfg.RetransmitAfter)
+	}
+	for i := 0; i < n; i++ {
+		id := mesh.NodeID(i)
+		nbrs := s.topo.Neighbours(id)
+		if cfg.QueueModel == LinkQueues {
+			s.inLinks[i] = make([]fifo, len(nbrs))
+			s.activeSet[i] = make([]bool, len(nbrs))
+		}
+		s.nbrIndex[i] = make(map[mesh.NodeID]int, len(nbrs))
+		for j, m := range nbrs {
+			s.nbrIndex[i][m] = j
+		}
+		s.contexts[i] = Context{sim: s, node: id}
+		h := cfg.Factory(id)
+		if h == nil {
+			return nil, fmt.Errorf("simulator: factory returned nil handler for node %d", id)
+		}
+		s.handlers[i] = h
+		if t, ok := h.(Ticker); ok {
+			s.tickers[i] = t
+		}
+		if p, ok := h.(Pending); ok {
+			s.pendings[i] = p
+		}
+	}
+	return s, nil
+}
+
+// Topology returns the machine's interconnect.
+func (s *Simulator) Topology() mesh.Topology { return s.topo }
+
+// Handler returns the handler instance owned by a node, letting callers
+// extract results after the run.
+func (s *Simulator) Handler(n mesh.NodeID) Handler { return s.handlers[int(n)] }
+
+// Step returns the current simulation step.
+func (s *Simulator) Step() int64 { return s.step }
+
+// Inject queues an external message (src = mesh.None) for delivery to dst at
+// the start of the simulation, modelling the backend kick-starting the
+// computation by sending a trigger message to a user-selected node.
+func (s *Simulator) Inject(dst mesh.NodeID, payload Payload) error {
+	if s.started {
+		return fmt.Errorf("simulator: Inject after Run started")
+	}
+	if int(dst) < 0 || int(dst) >= s.topo.Size() {
+		return fmt.Errorf("simulator: Inject destination %d out of range", dst)
+	}
+	s.injected = append(s.injected, Message{Src: mesh.None, Dst: dst, Payload: payload})
+	return nil
+}
+
+// Run executes the simulation until quiescence (no queued or buffered
+// messages anywhere and no handler reporting pending work) or until MaxSteps
+// elapses. It returns the collected statistics.
+func (s *Simulator) Run() Stats {
+	s.started = true
+	for i := range s.handlers {
+		s.handlers[i].Init(&s.contexts[i])
+	}
+	for _, m := range s.injected {
+		m.arriveAt = 0
+		m.SentAt = 0
+		s.extQ[m.Dst].push(m)
+		s.inFlight++
+		s.stats.TotalSent++
+	}
+	s.injected = nil
+	s.stats.FirstDelivery = -1
+
+	for s.step = 0; s.step < s.cfg.MaxSteps; s.step++ {
+		s.runStep()
+		if s.cfg.RecordSeries {
+			s.stats.QueuedSeries = append(s.stats.QueuedSeries, s.inFlight)
+		}
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.AfterStep(s.step, s.inFlight)
+		}
+		if s.inFlight == 0 && !s.anyPending() && (s.links == nil || s.links.idle()) {
+			s.stats.Steps = s.step + 1
+			s.stats.Quiescent = true
+			return s.stats
+		}
+	}
+	s.stats.Steps = s.cfg.MaxSteps
+	s.stats.Quiescent = false
+	return s.stats
+}
+
+// runStep performs one paper-semantics simulation step: per-link deliveries,
+// handler ticks, then outbox flush.
+func (s *Simulator) runStep() {
+	n := len(s.handlers)
+	// Phase 1: deliveries.
+	switch s.cfg.QueueModel {
+	case LinkQueues:
+		// Pop up to DeliverPerStep due messages from each non-empty
+		// inbound link queue, plus all due external injections.
+		for i := 0; i < n; i++ {
+			// Snapshot the active link set: deliveries never add to it
+			// (sends stage in outboxes until phase 4), but pops may
+			// shrink it.
+			s.scratch = append(s.scratch[:0], s.active[i]...)
+			for _, li := range s.scratch {
+				q := &s.inLinks[i][li]
+				for k := 0; k < s.cfg.DeliverPerStep; k++ {
+					msg, ok := q.popDue(s.step)
+					if !ok {
+						break
+					}
+					s.inFlight--
+					s.deliver(i, msg)
+				}
+				if q.len() == 0 {
+					s.deactivate(i, li)
+				}
+			}
+			for {
+				msg, ok := s.extQ[i].popDue(s.step)
+				if !ok {
+					break
+				}
+				s.inFlight--
+				s.deliver(i, msg)
+			}
+		}
+	default:
+		// NodeQueues: pop up to DeliverPerStep due messages from each
+		// node's single inbox (external injections share it).
+		for i := 0; i < n; i++ {
+			for k := 0; k < s.cfg.DeliverPerStep; k++ {
+				msg, ok := s.extQ[i].popDue(s.step)
+				if !ok {
+					break
+				}
+				s.inFlight--
+				s.deliver(i, msg)
+			}
+		}
+	}
+	// Phase 2: per-step ticks for handlers that buffer internally.
+	for i := 0; i < n; i++ {
+		if s.tickers[i] != nil {
+			s.tickers[i].Tick(&s.contexts[i])
+		}
+	}
+	// Phase 3: retransmit overdue unacknowledged messages.
+	if s.links != nil {
+		s.links.retransmit(s)
+	}
+	// Phase 4: flush outboxes into destination link queues.
+	for i := 0; i < n; i++ {
+		s.flushOutbox(i)
+	}
+}
+
+// deactivate removes a drained link queue from the node's active list.
+func (s *Simulator) deactivate(node int, li int32) {
+	if !s.activeSet[node][li] {
+		return
+	}
+	s.activeSet[node][li] = false
+	act := s.active[node]
+	for k, v := range act {
+		if v == li {
+			act[k] = act[len(act)-1]
+			s.active[node] = act[:len(act)-1]
+			return
+		}
+	}
+}
+
+// activate marks a link queue non-empty.
+func (s *Simulator) activate(node int, li int32) {
+	if s.activeSet[node][li] {
+		return
+	}
+	s.activeSet[node][li] = true
+	s.active[node] = append(s.active[node], li)
+}
+
+// deliver hands one arrived message to the link layer / handler.
+func (s *Simulator) deliver(node int, msg Message) {
+	if s.links != nil {
+		if !s.links.onArrival(s, node, &msg) {
+			return // duplicate or internal ack frame: consumed by link layer
+		}
+	}
+	s.stats.TotalDelivered++
+	s.stats.DeliveredPerNode[node]++
+	if s.stats.FirstDelivery < 0 {
+		s.stats.FirstDelivery = s.step
+	}
+	s.stats.LastDelivery = s.step
+	s.handlers[node].Receive(&s.contexts[node], msg.Src, msg.Payload)
+}
+
+// flushOutbox moves messages from a node's outbox to their destination link
+// queues, applying loss, latency and queue-capacity backpressure.
+func (s *Simulator) flushOutbox(node int) {
+	ob := &s.outboxes[node]
+	var retry []Message
+	for {
+		msg, ok := ob.pop()
+		if !ok {
+			break
+		}
+		dst := int(msg.Dst)
+		var q *fifo
+		var li int32 = -1
+		if s.cfg.QueueModel == LinkQueues {
+			li = int32(s.nbrIndex[dst][msg.Src])
+			q = &s.inLinks[dst][li]
+		} else {
+			q = &s.extQ[dst]
+		}
+		if s.cfg.QueueCap > 0 && q.len() >= s.cfg.QueueCap {
+			s.stats.TotalBlocked++
+			retry = append(retry, msg)
+			continue
+		}
+		if s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate {
+			s.inFlight--
+			s.stats.TotalDropped++
+			continue // the reliability protocol will retransmit
+		}
+		msg.arriveAt = s.step + s.cfg.LinkLatency
+		q.push(msg)
+		if li >= 0 {
+			s.activate(dst, li)
+		}
+	}
+	for _, m := range retry {
+		ob.push(m)
+	}
+}
+
+// send is the internal entry point used by Context.Send and the link layer.
+func (s *Simulator) send(src, dst mesh.NodeID, payload Payload) error {
+	if int(dst) < 0 || int(dst) >= s.topo.Size() {
+		return fmt.Errorf("simulator: node %d sent to out-of-range node %d", src, dst)
+	}
+	if _, adjacent := s.nbrIndex[dst][src]; !adjacent {
+		return fmt.Errorf("simulator: node %d is not adjacent to node %d in %s", src, dst, s.topo.Name())
+	}
+	msg := Message{Src: src, Dst: dst, Payload: payload, SentAt: s.step}
+	s.stats.TotalSent++
+	if s.links != nil {
+		s.links.onSend(s, &msg)
+	}
+	s.outboxes[src].push(msg)
+	s.inFlight++
+	return nil
+}
+
+// enqueueRaw re-enqueues a link-layer frame (ack or retransmission) without
+// accounting it as a fresh application send.
+func (s *Simulator) enqueueRaw(msg Message) {
+	s.outboxes[msg.Src].push(msg)
+	s.inFlight++
+}
+
+func (s *Simulator) anyPending() bool {
+	for _, p := range s.pendings {
+		if p != nil && p.PendingWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// Context is the per-node view handlers use to interact with the machine.
+type Context struct {
+	sim  *Simulator
+	node mesh.NodeID
+}
+
+// Node returns the node this context belongs to.
+func (c *Context) Node() mesh.NodeID { return c.node }
+
+// Step returns the current simulation step.
+func (c *Context) Step() int64 { return c.sim.step }
+
+// Neighbours returns the node's adjacent nodes. The slice must not be
+// modified.
+func (c *Context) Neighbours() []mesh.NodeID { return c.sim.topo.Neighbours(c.node) }
+
+// Topology returns the machine's interconnect.
+func (c *Context) Topology() mesh.Topology { return c.sim.topo }
+
+// Send queues a message to an adjacent node. It returns an error if dst is
+// not a neighbour — layer 1 has no routing network (paper Section V-A).
+func (c *Context) Send(dst mesh.NodeID, payload Payload) error {
+	return c.sim.send(c.node, dst, payload)
+}
+
+// fifo is an amortised O(1) queue of messages.
+type fifo struct {
+	buf  []Message
+	head int
+}
+
+func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+// pop removes the head regardless of arrival time.
+func (q *fifo) pop() (Message, bool) {
+	if q.head >= len(q.buf) {
+		return Message{}, false
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = Message{} // release payload reference
+	q.head++
+	q.compact()
+	return m, true
+}
+
+// popDue removes the head only if it has arrived by the given step.
+func (q *fifo) popDue(step int64) (Message, bool) {
+	if q.head >= len(q.buf) || q.buf[q.head].arriveAt > step {
+		return Message{}, false
+	}
+	return q.pop()
+}
+
+func (q *fifo) compact() {
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = Message{}
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
