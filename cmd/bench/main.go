@@ -1,0 +1,239 @@
+// Command bench runs the repository's fixed performance suite and writes a
+// machine-readable JSON report, giving successive PRs a comparable
+// performance trajectory. It measures three things:
+//
+//   - the raw layer-1 step loop (a message flood on a 32x32 torus),
+//   - one full five-layer SAT solve (the hot Figure 4 point: uf50-218 on the
+//     196-core 2D torus, round-robin mapping),
+//   - the sweep engine's wall-clock speedup: the quick Figure 4 sweep run
+//     serially and again at -parallel workers, with a bit-identity check.
+//
+// Usage:
+//
+//	go run ./cmd/bench                     # writes BENCH_PR1.json
+//	go run ./cmd/bench -o BENCH_PR2.json   # next PR's trajectory point
+//	go run ./cmd/bench -parallel 4         # explicit sweep parallelism
+//
+// Compare two reports by diffing their "benchmarks" entries (ns_per_op,
+// allocs_per_op) and the sweep block's "speedup".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hypersolve/internal/experiments"
+	"hypersolve/internal/mesh"
+	"hypersolve/internal/sat"
+	"hypersolve/internal/simulator"
+
+	hypersolve "hypersolve"
+)
+
+type benchEntry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type sweepEntry struct {
+	Points         int     `json:"points"`
+	ProblemsPerPt  int     `json:"problems_per_point"`
+	Parallelism    int     `json:"parallelism"`
+	SerialSeconds  float64 `json:"serial_seconds"`
+	ParallelSecond float64 `json:"parallel_seconds"`
+	Speedup        float64 `json:"speedup"`
+	BitIdentical   bool    `json:"bit_identical"`
+}
+
+type report struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	CPUs       int          `json:"num_cpu"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	Sweep      sweepEntry   `json:"sweep"`
+}
+
+func main() {
+	var (
+		out = flag.String("o", "BENCH_PR1.json", "output file")
+		par = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *par <= 0 {
+		*par = runtime.GOMAXPROCS(0)
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: layer-1 flood (32x32 torus)...")
+	rep.Benchmarks = append(rep.Benchmarks, runBench("sim_flood_torus32x32", benchFlood))
+	fmt.Fprintln(os.Stderr, "bench: figure-4 point (uf50-218, 196-core 2D torus, RR)...")
+	rep.Benchmarks = append(rep.Benchmarks, runBench("figure4_point_2dtorus_rr_196", benchFigure4Point))
+	fmt.Fprintln(os.Stderr, "bench: sweep speedup (quick figure-4, serial vs parallel)...")
+	sweep, err := benchSweep(*par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Sweep = sweep
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d)\n",
+		*out, sweep.Speedup, sweep.Parallelism)
+	fmt.Print(string(data))
+}
+
+func runBench(name string, fn func(b *testing.B)) benchEntry {
+	r := testing.Benchmark(fn)
+	e := benchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		e.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			e.Metrics[k] = v
+		}
+	}
+	return e
+}
+
+// floodHandler rebroadcasts the first message it receives to every
+// neighbour: a full-mesh flood that exercises the raw step loop with zero
+// application work.
+type floodHandler struct{ seen bool }
+
+func (h *floodHandler) Init(*simulator.Context) {}
+
+func (h *floodHandler) Receive(ctx *simulator.Context, _ mesh.NodeID, _ simulator.Payload) {
+	if h.seen {
+		return
+	}
+	h.seen = true
+	for _, nb := range ctx.Neighbours() {
+		if err := ctx.Send(nb, nil); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func benchFlood(b *testing.B) {
+	topo := mesh.MustTorus(32, 32)
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		sim, err := simulator.New(simulator.Config{
+			Topology: topo,
+			Factory:  func(mesh.NodeID) simulator.Handler { return &floodHandler{} },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Inject(0, nil); err != nil {
+			b.Fatal(err)
+		}
+		stats := sim.Run()
+		if !stats.Quiescent {
+			b.Fatal("flood did not quiesce")
+		}
+		steps = stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+func benchFigure4Point(b *testing.B) {
+	// The scalability workload family (uf50-218, one instance); the same
+	// generator parameters as experiments.DefaultWorkload and the root
+	// BenchmarkFigure4.
+	suite, err := hypersolve.GenerateSATSuite(sat.SuiteParams{
+		Count: 1, NumVars: 50, NumClauses: 218, Seed: 11, RequireSAT: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := suite[0]
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := hypersolve.Run(hypersolve.Config{
+			Topology: hypersolve.MustTorus(14, 14),
+			Mapper:   hypersolve.RoundRobinMapper(),
+			Task:     hypersolve.SATTask(hypersolve.HeuristicFirst),
+			Seed:     int64(i),
+		}, hypersolve.NewSATProblem(f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatal("solve did not complete")
+		}
+		steps = res.ComputationTime
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+func benchSweep(par int) (sweepEntry, error) {
+	w, err := experiments.SmallWorkload(1, 5)
+	if err != nil {
+		return sweepEntry{}, err
+	}
+	mkCfg := func(parallelism int) experiments.Figure4Config {
+		return experiments.Figure4Config{
+			Workload: w,
+			Series: experiments.DefaultFigure4Series(
+				[]int{16, 64, 196},
+				[]int{27, 125},
+				[]int{16, 196},
+			),
+			Seed:        1,
+			Parallelism: parallelism,
+		}
+	}
+	start := time.Now()
+	serialPts, err := experiments.Figure4(mkCfg(1))
+	if err != nil {
+		return sweepEntry{}, err
+	}
+	serialDur := time.Since(start)
+
+	start = time.Now()
+	parPts, err := experiments.Figure4(mkCfg(par))
+	if err != nil {
+		return sweepEntry{}, err
+	}
+	parDur := time.Since(start)
+
+	return sweepEntry{
+		Points:         len(serialPts),
+		ProblemsPerPt:  len(w.Problems),
+		Parallelism:    par,
+		SerialSeconds:  serialDur.Seconds(),
+		ParallelSecond: parDur.Seconds(),
+		Speedup:        serialDur.Seconds() / parDur.Seconds(),
+		BitIdentical:   reflect.DeepEqual(serialPts, parPts),
+	}, nil
+}

@@ -10,6 +10,11 @@
 //	figures -fig 5                 # Figure 5 traces and heatmaps
 //	figures -fig 4 -csv            # machine-readable output
 //	figures -fig 4 -seed 7         # different benchmark suite
+//	figures -fig 4 -parallel 8     # fan simulations over 8 workers
+//
+// The -parallel flag only changes wall-clock time: sweep results are
+// bit-identical at every parallelism level (deterministic per-point seeds,
+// collection by point index).
 package main
 
 import (
@@ -23,11 +28,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 4, "figure to regenerate: 4 or 5")
-		quick = flag.Bool("quick", false, "reduced workload and sizes for a fast run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of a text rendering")
-		seed  = flag.Int64("seed", 1, "benchmark suite seed")
-		side  = flag.Int("side", 14, "figure 5 torus side (14 = paper's 196 cores)")
+		fig      = flag.Int("fig", 4, "figure to regenerate: 4 or 5")
+		quick    = flag.Bool("quick", false, "reduced workload and sizes for a fast run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a text rendering")
+		seed     = flag.Int64("seed", 1, "benchmark suite seed")
+		side     = flag.Int("side", 14, "figure 5 torus side (14 = paper's 196 cores)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any level")
 	)
 	flag.Parse()
 
@@ -35,9 +41,9 @@ func main() {
 	var err error
 	switch *fig {
 	case 4:
-		err = runFigure4(*quick, *csv, *seed)
+		err = runFigure4(*quick, *csv, *seed, *parallel)
 	case 5:
-		err = runFigure5(*quick, *csv, *seed, *side)
+		err = runFigure5(*quick, *csv, *seed, *side, *parallel)
 	default:
 		err = fmt.Errorf("unknown figure %d (want 4 or 5)", *fig)
 	}
@@ -48,7 +54,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func runFigure4(quick, csv bool, seed int64) error {
+func runFigure4(quick, csv bool, seed int64, parallel int) error {
 	var cfg experiments.Figure4Config
 	var err error
 	if quick {
@@ -71,6 +77,7 @@ func runFigure4(quick, csv bool, seed int64) error {
 			return err
 		}
 	}
+	cfg.Parallelism = parallel
 	points, err := experiments.Figure4(cfg)
 	if err != nil {
 		return err
@@ -83,7 +90,7 @@ func runFigure4(quick, csv bool, seed int64) error {
 	return nil
 }
 
-func runFigure5(quick, csv bool, seed int64, side int) error {
+func runFigure5(quick, csv bool, seed int64, side, parallel int) error {
 	var w experiments.Workload
 	var err error
 	if quick {
@@ -95,9 +102,10 @@ func runFigure5(quick, csv bool, seed int64, side int) error {
 		return err
 	}
 	results, err := experiments.Figure5(experiments.Figure5Config{
-		Workload: w,
-		Side:     side,
-		Seed:     seed,
+		Workload:    w,
+		Side:        side,
+		Seed:        seed,
+		Parallelism: parallel,
 	})
 	if err != nil {
 		return err

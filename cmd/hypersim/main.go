@@ -9,6 +9,7 @@
 //	hypersim -topo hypercube:7 -mapper weighted:2 -task knapsack -n 14
 //	hypersim -topo torus:14x14 -mapper lbn -task sat -seed 7 -series -heatmap
 //	hypersim -topo full:256 -mapper ideal -task sat -cnf problem.cnf
+//	hypersim -topo torus:14x14 -mapper lbn -task sat -runs 8 -parallel 4
 package main
 
 import (
@@ -36,15 +37,17 @@ func main() {
 		series     = flag.Bool("series", false, "print the interconnect activity trace")
 		heatmap    = flag.Bool("heatmap", false, "print the node activity heatmap")
 		linkQueues = flag.Bool("link-queues", false, "use per-link queues instead of per-node queues")
+		runs       = flag.Int("runs", 1, "replicate the run this many times with seeds seed..seed+runs-1 and report a summary")
+		par        = flag.Int("parallel", 0, "concurrent simulations when -runs > 1 (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*topoSpec, *mapperSpec, *taskName, *n, *cnf, *heuristic, *procs, *seed, *maxSteps, *series, *heatmap, *linkQueues); err != nil {
+	if err := run(*topoSpec, *mapperSpec, *taskName, *n, *cnf, *heuristic, *procs, *seed, *maxSteps, *series, *heatmap, *linkQueues, *runs, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "hypersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoSpec, mapperSpec, taskName string, n int, cnf, heuristic string, procs int, seed, maxSteps int64, series, heatmap, linkQueues bool) error {
+func run(topoSpec, mapperSpec, taskName string, n int, cnf, heuristic string, procs int, seed, maxSteps int64, series, heatmap, linkQueues bool, runs, par int) error {
 	topo, err := hypersolve.ParseTopology(topoSpec)
 	if err != nil {
 		return err
@@ -130,9 +133,13 @@ func run(topoSpec, mapperSpec, taskName string, n int, cnf, heuristic string, pr
 		Seed:         seed,
 		MaxSteps:     maxSteps,
 		RecordSeries: series,
+		Parallelism:  par,
 	}
 	if linkQueues {
 		cfg.Link.QueueModel = hypersolve.LinkQueues
+	}
+	if runs > 1 {
+		return runReplicates(cfg, mapperSpec, taskName, arg, check, runs, series, heatmap)
 	}
 	machine, err := hypersolve.NewMachine(cfg)
 	if err != nil {
@@ -163,6 +170,64 @@ func run(topoSpec, mapperSpec, taskName string, n int, cnf, heuristic string, pr
 	if heatmap {
 		hm := machine.NodeHeatmap(res)
 		fmt.Printf("\nnode activity heatmap (imbalance CV %.2f):\n", hm.ImbalanceCV())
+		fmt.Print(hm.Render())
+	}
+	return nil
+}
+
+// runReplicates executes the same workload runs times with seeds
+// cfg.Seed..cfg.Seed+runs-1, fanned out over cfg.Parallelism workers, and
+// reports per-run computation times plus a summary. The mapper spec is
+// re-parsed per machine (Config.FreshMapper) so stateful factories (the
+// idealised "ideal" mapper's machine-wide cursor) get a fresh instance per
+// machine — results are identical at every -parallel level. The -series and
+// -heatmap flags apply to run 0.
+func runReplicates(cfg hypersolve.Config, mapperSpec, taskName string, arg hypersolve.Value, check func(hypersolve.Value) string, runs int, series, heatmap bool) error {
+	cfg.FreshMapper = func() hypersolve.MapperFactory {
+		mf, err := hypersolve.ParseMapper(mapperSpec)
+		if err != nil {
+			panic(err) // unreachable: the caller already validated the spec
+		}
+		return mf
+	}
+	baseSeed := cfg.Seed
+	args := make([]hypersolve.Value, runs)
+	for i := range args {
+		args[i] = arg
+	}
+	results, err := hypersolve.RunSuite(cfg, args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine: %s (%d cores), mapper %s, task %s, %d runs\n",
+		cfg.Topology.Name(), cfg.Topology.Size(), mapperSpec, taskName, runs)
+	steps := make([]float64, 0, runs)
+	for i, res := range results {
+		if !res.OK {
+			fmt.Printf("run %2d (seed %d): did NOT complete (MaxSteps exceeded)\n", i, baseSeed+int64(i))
+			continue
+		}
+		fmt.Printf("run %2d (seed %d): %d steps | %s\n", i, baseSeed+int64(i), res.ComputationTime, check(res.Value))
+		steps = append(steps, float64(res.ComputationTime))
+	}
+	if len(steps) > 0 {
+		sum := metrics.Summarize(steps)
+		fmt.Printf("computation time over %d completed runs: mean %.1f steps (std %.1f, min %.0f, max %.0f)\n",
+			len(steps), sum.Mean, sum.Std, sum.Min, sum.Max)
+	}
+	if series {
+		fmt.Println("\ninterconnect activity of run 0 (queued messages vs time):")
+		fmt.Print(metrics.AsciiPlot(results[0].QueuedSeries, 64, 12))
+	}
+	if heatmap {
+		// NodeHeatmap only folds per-process counts onto the topology, so a
+		// machine built from the same config renders run 0's result.
+		machine, err := hypersolve.NewMachine(cfg)
+		if err != nil {
+			return err
+		}
+		hm := machine.NodeHeatmap(results[0])
+		fmt.Printf("\nnode activity heatmap of run 0 (imbalance CV %.2f):\n", hm.ImbalanceCV())
 		fmt.Print(hm.Render())
 	}
 	return nil

@@ -1,0 +1,3 @@
+module hypersolve
+
+go 1.24

@@ -12,6 +12,7 @@ import (
 	"hypersolve/internal/mapping"
 	"hypersolve/internal/mesh"
 	"hypersolve/internal/metrics"
+	"hypersolve/internal/parallel"
 	"hypersolve/internal/recursion"
 	"hypersolve/internal/sched"
 	"hypersolve/internal/simulator"
@@ -23,8 +24,17 @@ import (
 type Config struct {
 	// Topology is the layer-1 interconnect (required).
 	Topology mesh.Topology
-	// Mapper is the layer-3 mapping algorithm factory (required).
+	// Mapper is the layer-3 mapping algorithm factory (required unless
+	// FreshMapper is set).
 	Mapper mapping.Factory
+	// FreshMapper, when non-nil, overrides Mapper: it is invoked once per
+	// machine to build that machine's mapping factory. Factories that share
+	// state across every machine they build (GlobalRoundRobinMapper's
+	// machine-wide cursor) need this under RunSuite with Parallelism > 1,
+	// both for determinism and to avoid cross-machine contention; stateless
+	// factories (round-robin, least-busy, weighted) work identically either
+	// way.
+	FreshMapper func() mapping.Factory
 	// Task is the layer-5 recursive function (required).
 	Task recursion.Task
 
@@ -49,6 +59,12 @@ type Config struct {
 	MaxSteps int64
 	// RecordSeries enables the per-step interconnect activity trace.
 	RecordSeries bool
+
+	// Parallelism bounds how many machines RunSuite simulates concurrently
+	// (a single Machine.Run is always single-threaded; the knob schedules
+	// independent runs, not one run's internals). Values <= 0 default to
+	// runtime.GOMAXPROCS(0); 1 recovers the serial loop.
+	Parallelism int
 
 	// Link carries the optional layer-1 link-model extensions (latency,
 	// bandwidth, bounded queues, loss + reliability). Topology, Factory,
@@ -96,6 +112,9 @@ type Machine struct {
 func New(cfg Config) (*Machine, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("core: Config.Topology is nil")
+	}
+	if cfg.FreshMapper != nil {
+		cfg.Mapper = cfg.FreshMapper()
 	}
 	if cfg.Mapper == nil {
 		return nil, fmt.Errorf("core: Config.Mapper is nil")
@@ -213,4 +232,31 @@ func RunOnce(cfg Config, arg recursion.Value) (Result, error) {
 		return Result{}, err
 	}
 	return m.Run(arg)
+}
+
+// RunSuite simulates one machine per argument, deriving run i's seed as
+// cfg.Seed + i and fanning the runs out over cfg.Parallelism workers.
+// Results are collected by argument index, so the output is bit-identical
+// at every parallelism level — provided each machine's mapper state is its
+// own. The bundled factories all build per-node state only, except
+// GlobalRoundRobinMapper, whose factory shares one cursor across every
+// machine it builds: set cfg.FreshMapper (e.g. to GlobalRoundRobinMapper
+// itself) so each run constructs a fresh factory, as internal/experiments
+// and cmd/hypersim do.
+func RunSuite(cfg Config, args []recursion.Value) ([]Result, error) {
+	out := make([]Result, len(args))
+	err := parallel.ForEach(len(args), cfg.Parallelism, func(i int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := RunOnce(c, args[i])
+		if err != nil {
+			return fmt.Errorf("core: suite run %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

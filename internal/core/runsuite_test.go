@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hypersolve/internal/apps"
+	"hypersolve/internal/mapping"
+	"hypersolve/internal/mesh"
+	"hypersolve/internal/recursion"
+)
+
+func suiteArgs(n int) []recursion.Value {
+	args := make([]recursion.Value, n)
+	for i := range args {
+		args[i] = 10 + i
+	}
+	return args
+}
+
+func TestRunSuiteMatchesSerialRuns(t *testing.T) {
+	cfg := Config{
+		Topology: mesh.MustTorus(4, 4),
+		Mapper:   mapping.NewLeastBusy(),
+		Task:     apps.SumTask(),
+		Seed:     3,
+	}
+	args := suiteArgs(6)
+	var want []Result
+	for i, a := range args {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := RunOnce(c, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	for _, p := range []int{1, 4} {
+		c := cfg
+		c.Parallelism = p
+		got, err := RunSuite(c, args)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("parallelism %d: suite results differ from per-run RunOnce", p)
+		}
+	}
+}
+
+// TestRunSuiteFreshMapperIdealDeterminism pins the fix for the idealised
+// globally coordinated mapper under concurrency: its factory shares one
+// cursor across every machine it builds, so concurrent machines must each
+// construct a fresh factory via Config.FreshMapper. Run under -race this
+// also proves the suite is free of cross-machine data races.
+func TestRunSuiteFreshMapperIdealDeterminism(t *testing.T) {
+	topo, err := mesh.NewFullyConnected(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topology:    topo,
+		FreshMapper: mapping.NewGlobalRoundRobin,
+		Task:        apps.SumTask(),
+		Seed:        1,
+	}
+	args := suiteArgs(8)
+	cfg.Parallelism = 1
+	serial, err := RunSuite(cfg, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{4, 8} {
+		cfg.Parallelism = p
+		got, err := RunSuite(cfg, args)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("parallelism %d: ideal-mapper suite differs from serial", p)
+		}
+	}
+}
+
+func TestRunSuiteEmptyAndError(t *testing.T) {
+	cfg := Config{
+		Topology: mesh.MustTorus(3, 3),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.SumTask(),
+	}
+	out, err := RunSuite(cfg, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty suite: out=%v err=%v", out, err)
+	}
+	bad := cfg
+	bad.Topology = nil
+	if _, err := RunSuite(bad, suiteArgs(3)); err == nil {
+		t.Error("expected config error to surface from RunSuite")
+	}
+}

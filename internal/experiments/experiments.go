@@ -13,6 +13,7 @@ import (
 	"hypersolve/internal/mapping"
 	"hypersolve/internal/mesh"
 	"hypersolve/internal/metrics"
+	"hypersolve/internal/parallel"
 	"hypersolve/internal/sat"
 )
 
@@ -68,8 +69,12 @@ type Series struct {
 	Label string
 	// Build returns the topology for a given core count.
 	Build func(cores int) (mesh.Topology, error)
-	// Mapper builds the mapping algorithm.
-	Mapper mapping.Factory
+	// Mapper constructs the mapping algorithm factory. It is invoked once
+	// per simulation run (not once per series) so that factories carrying
+	// cross-machine state — the idealised globally coordinated mapper — give
+	// every run a fresh instance. That makes sweep results independent of
+	// execution order, which the parallel engine relies on.
+	Mapper func() mapping.Factory
 	// Sizes are the core counts to sweep.
 	Sizes []int
 }
@@ -80,6 +85,11 @@ type Figure4Config struct {
 	Series   []Series
 	Seed     int64
 	MaxSteps int64
+	// Parallelism bounds how many simulations run concurrently (each
+	// simulator instance is independent and single-threaded). Values <= 0
+	// default to runtime.GOMAXPROCS(0); 1 recovers the serial engine.
+	// Results are bit-identical at every parallelism level.
+	Parallelism int
 }
 
 // DefaultFigure4Series returns the five curves of the paper's Figure 4:
@@ -87,15 +97,15 @@ type Figure4Config struct {
 // (LBN) mapping, plus the fully connected baseline.
 func DefaultFigure4Series(sizes2D, sizes3D, sizesFull []int) []Series {
 	return []Series{
-		{Label: "2D Torus + RR", Build: mesh.SquareTorus, Mapper: mapping.NewRoundRobin(), Sizes: sizes2D},
-		{Label: "3D Torus + RR", Build: mesh.CubeTorus, Mapper: mapping.NewRoundRobin(), Sizes: sizes3D},
-		{Label: "2D Torus + LBN", Build: mesh.SquareTorus, Mapper: mapping.NewLeastBusy(), Sizes: sizes2D},
-		{Label: "3D Torus + LBN", Build: mesh.CubeTorus, Mapper: mapping.NewLeastBusy(), Sizes: sizes3D},
+		{Label: "2D Torus + RR", Build: mesh.SquareTorus, Mapper: mapping.NewRoundRobin, Sizes: sizes2D},
+		{Label: "3D Torus + RR", Build: mesh.CubeTorus, Mapper: mapping.NewRoundRobin, Sizes: sizes3D},
+		{Label: "2D Torus + LBN", Build: mesh.SquareTorus, Mapper: mapping.NewLeastBusy, Sizes: sizes2D},
+		{Label: "3D Torus + LBN", Build: mesh.CubeTorus, Mapper: mapping.NewLeastBusy, Sizes: sizes3D},
 		// The fully-connected baseline pairs the complete graph with the
 		// idealised globally coordinated mapper: the paper treats this
 		// machine as the ideal reference, not as a mapping-algorithm
 		// evaluation point.
-		{Label: "Fully connected", Build: mesh.NewFullyConnected, Mapper: mapping.NewGlobalRoundRobin(), Sizes: sizesFull},
+		{Label: "Fully connected", Build: mesh.NewFullyConnected, Mapper: mapping.NewGlobalRoundRobin, Sizes: sizesFull},
 	}
 }
 
@@ -127,57 +137,90 @@ type Point struct {
 	SolvedSAT       int // sanity: how many instances reported SAT
 }
 
-// Figure4 runs the sweep and returns one point per (series, size).
+// Figure4 runs the sweep and returns one point per (series, size). The
+// sweep's (series, size, problem) runs are independent simulations; they are
+// fanned out over Config.Parallelism workers and collected by index, so the
+// returned points are bit-identical at every parallelism level.
 func Figure4(cfg Figure4Config) ([]Point, error) {
 	if len(cfg.Workload.Problems) == 0 {
 		return nil, fmt.Errorf("experiments: empty workload")
 	}
-	var out []Point
+	// Materialise the point list (topology construction is cheap and
+	// serial; the simulations are the expensive part).
+	type pointSpec struct {
+		s    Series
+		topo mesh.Topology
+	}
+	var specs []pointSpec
 	for _, s := range cfg.Series {
 		for _, cores := range s.Sizes {
 			topo, err := s.Build(cores)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%d: %w", s.Label, cores, err)
 			}
-			pt, err := runPoint(cfg, s, topo)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, pt)
+			specs = append(specs, pointSpec{s: s, topo: topo})
 		}
 	}
-	return out, nil
-}
-
-func runPoint(cfg Figure4Config, s Series, topo mesh.Topology) (Point, error) {
-	pt := Point{Series: s.Label, Cores: topo.Size()}
-	var perfs, steps []float64
-	for i, f := range cfg.Workload.Problems {
+	// Flatten to one job per (point, problem) pair for maximal load
+	// balance, then reduce per point in order.
+	nprob := len(cfg.Workload.Problems)
+	type runOut struct {
+		perf  float64
+		steps float64
+		sat   bool
+	}
+	runs := make([]runOut, len(specs)*nprob)
+	err := parallel.ForEach(len(runs), cfg.Parallelism, func(k int) error {
+		spec, i := specs[k/nprob], k%nprob
+		f := cfg.Workload.Problems[i]
+		var mf mapping.Factory
+		if spec.s.Mapper != nil {
+			mf = spec.s.Mapper()
+		}
 		res, err := core.RunOnce(core.Config{
-			Topology: topo,
-			Mapper:   s.Mapper,
+			Topology: spec.topo,
+			Mapper:   mf,
 			Task:     sat.Task(cfg.Workload.Heuristic),
 			Seed:     cfg.Seed + int64(i),
 			MaxSteps: cfg.MaxSteps,
 		}, sat.NewProblem(f))
 		if err != nil {
-			return pt, fmt.Errorf("experiments: %s/%d problem %d: %w", s.Label, topo.Size(), i, err)
+			return fmt.Errorf("experiments: %s/%d problem %d: %w", spec.s.Label, spec.topo.Size(), i, err)
 		}
 		if !res.OK {
-			return pt, fmt.Errorf("experiments: %s/%d problem %d did not complete (MaxSteps too small?)", s.Label, topo.Size(), i)
+			return fmt.Errorf("experiments: %s/%d problem %d did not complete (MaxSteps too small?)", spec.s.Label, spec.topo.Size(), i)
 		}
 		if out, ok := res.Value.(sat.Outcome); ok && out.Status == sat.SAT {
 			if !sat.Verify(f, out.Assignment) {
-				return pt, fmt.Errorf("experiments: %s/%d problem %d returned invalid assignment", s.Label, topo.Size(), i)
+				return fmt.Errorf("experiments: %s/%d problem %d returned invalid assignment", spec.s.Label, spec.topo.Size(), i)
 			}
-			pt.SolvedSAT++
+			runs[k].sat = true
 		}
-		perfs = append(perfs, res.Performance)
-		steps = append(steps, float64(res.ComputationTime))
+		runs[k].perf = res.Performance
+		runs[k].steps = float64(res.ComputationTime)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	pt.MeanPerformance = metrics.Summarize(perfs).Mean
-	pt.Steps = metrics.Summarize(steps)
-	return pt, nil
+	out := make([]Point, len(specs))
+	perfs := make([]float64, nprob)
+	steps := make([]float64, nprob)
+	for p, spec := range specs {
+		pt := Point{Series: spec.s.Label, Cores: spec.topo.Size()}
+		for i := 0; i < nprob; i++ {
+			r := runs[p*nprob+i]
+			perfs[i] = r.perf
+			steps[i] = r.steps
+			if r.sat {
+				pt.SolvedSAT++
+			}
+		}
+		pt.MeanPerformance = metrics.Summarize(perfs).Mean
+		pt.Steps = metrics.Summarize(steps)
+		out[p] = pt
+	}
+	return out, nil
 }
 
 // RenderFigure4 formats the sweep as an aligned text table grouped by

@@ -8,6 +8,7 @@ import (
 	"hypersolve/internal/mapping"
 	"hypersolve/internal/mesh"
 	"hypersolve/internal/metrics"
+	"hypersolve/internal/parallel"
 	"hypersolve/internal/sat"
 )
 
@@ -24,6 +25,10 @@ type Figure5Config struct {
 	HeatmapProblem int
 	Seed           int64
 	MaxSteps       int64
+	// Parallelism bounds how many simulations run concurrently; <= 0
+	// defaults to runtime.GOMAXPROCS(0). Results are bit-identical at every
+	// parallelism level.
+	Parallelism int
 }
 
 // Figure5Result holds one mapper's unfolding data.
@@ -56,49 +61,71 @@ func Figure5(cfg Figure5Config) ([]Figure5Result, error) {
 	}
 	mappers := []struct {
 		name string
-		mf   mapping.Factory
+		mf   func() mapping.Factory
 	}{
-		{"Round Robin", mapping.NewRoundRobin()},
-		{"Least Busy Neighbour", mapping.NewLeastBusy()},
+		{"Round Robin", mapping.NewRoundRobin},
+		{"Least Busy Neighbour", mapping.NewLeastBusy},
 	}
-	var out []Figure5Result
-	for _, m := range mappers {
+	// One job per (mapper, problem) run, fanned out over the worker pool
+	// and collected by index.
+	nprob := len(cfg.Workload.Problems)
+	type runOut struct {
+		trace   metrics.Series
+		steps   float64
+		heatmap *metrics.Heatmap
+	}
+	runs := make([]runOut, len(mappers)*nprob)
+	err := parallel.ForEach(len(runs), cfg.Parallelism, func(k int) error {
+		m, i := mappers[k/nprob], k%nprob
+		topo, err := mesh.NewTorus(side, side)
+		if err != nil {
+			return err
+		}
+		machine, err := core.New(core.Config{
+			Topology:     topo,
+			Mapper:       m.mf(),
+			Task:         sat.Task(cfg.Workload.Heuristic),
+			Seed:         cfg.Seed + int64(i),
+			MaxSteps:     cfg.MaxSteps,
+			RecordSeries: true,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := machine.Run(sat.NewProblem(cfg.Workload.Problems[i]))
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			return fmt.Errorf("experiments: figure5 %s problem %d did not complete", m.name, i)
+		}
+		runs[k].trace = res.QueuedSeries
+		runs[k].steps = float64(res.ComputationTime)
+		if i == cfg.HeatmapProblem {
+			runs[k].heatmap = machine.NodeHeatmap(res)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure5Result, len(mappers))
+	for mi, m := range mappers {
 		r := Figure5Result{Mapper: m.name}
-		var steps []float64
-		for i, f := range cfg.Workload.Problems {
-			topo, err := mesh.NewTorus(side, side)
-			if err != nil {
-				return nil, err
-			}
-			machine, err := core.New(core.Config{
-				Topology:     topo,
-				Mapper:       m.mf,
-				Task:         sat.Task(cfg.Workload.Heuristic),
-				Seed:         cfg.Seed + int64(i),
-				MaxSteps:     cfg.MaxSteps,
-				RecordSeries: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := machine.Run(sat.NewProblem(f))
-			if err != nil {
-				return nil, err
-			}
-			if !res.OK {
-				return nil, fmt.Errorf("experiments: figure5 %s problem %d did not complete", m.name, i)
-			}
-			r.Traces = append(r.Traces, res.QueuedSeries)
-			steps = append(steps, float64(res.ComputationTime))
-			if peak := res.QueuedSeries.Max(); peak > r.PeakQueued {
+		steps := make([]float64, nprob)
+		for i := 0; i < nprob; i++ {
+			ro := runs[mi*nprob+i]
+			r.Traces = append(r.Traces, ro.trace)
+			steps[i] = ro.steps
+			if peak := ro.trace.Max(); peak > r.PeakQueued {
 				r.PeakQueued = peak
 			}
-			if i == cfg.HeatmapProblem {
-				r.Heatmap = machine.NodeHeatmap(res)
+			if ro.heatmap != nil {
+				r.Heatmap = ro.heatmap
 			}
 		}
 		r.Steps = metrics.Summarize(steps)
-		out = append(out, r)
+		out[mi] = r
 	}
 	return out, nil
 }

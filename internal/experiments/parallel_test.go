@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestFigure4ParallelDeterminism asserts the sweep engine's core contract:
+// fanning the (series, size, problem) runs over a worker pool produces
+// bit-identical points to the serial engine, at any parallelism level.
+func TestFigure4ParallelDeterminism(t *testing.T) {
+	levels := []int{runtime.GOMAXPROCS(0), 4, 13}
+	base := testConfig(t)
+	base.Parallelism = 1
+	serial, err := Figure4(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range levels {
+		cfg := testConfig(t)
+		cfg.Parallelism = p
+		got, err := Figure4(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("parallelism %d: points differ from serial run\nserial:   %+v\nparallel: %+v", p, serial, got)
+		}
+	}
+}
+
+// TestFigure5ParallelDeterminism covers the unfolding experiment: traces,
+// heatmaps and summaries must not depend on completion order.
+func TestFigure5ParallelDeterminism(t *testing.T) {
+	w, err := SmallWorkload(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Figure5Config{Workload: w, Side: 8, Seed: 2, Parallelism: 1}
+	serial, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{runtime.GOMAXPROCS(0), 6} {
+		cfg.Parallelism = p
+		got, err := Figure5(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("parallelism %d: results differ from serial run", p)
+		}
+	}
+}
+
+// TestFreshMapperPerRun guards the fix that makes order-independence
+// possible: the idealised globally coordinated mapper carries a cursor
+// shared across every node of a machine, and reusing one factory across
+// runs would leak that cursor between problems (making results depend on
+// sweep order). Each run must get a fresh factory.
+func TestFreshMapperPerRun(t *testing.T) {
+	w, err := SmallWorkload(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Point {
+		pts, err := Figure4(Figure4Config{
+			Workload: w,
+			Series: DefaultFigure4Series(
+				nil, nil, []int{16},
+			)[4:], // just the fully-connected / ideal-mapper series
+			Seed:        1,
+			Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	first := run()
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated sweeps differ: mapper state leaked across runs\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"hypersolve/internal/sched"
 )
@@ -70,23 +71,27 @@ func (r *roundRobin) Choose(v View) int {
 // machine's ideal behaviour, not a realisable mapping algorithm. On
 // non-complete topologies it still only picks among the node's own
 // neighbours (cursor modulo degree).
+//
+// The cursor is shared by every machine built from one factory, so
+// machines meant to run concurrently must each get their own factory
+// (core.Config.FreshMapper; experiments.Series.Mapper). The counter is
+// atomic, which keeps even a shared-factory misuse memory-safe — merely
+// nondeterministic.
 func NewGlobalRoundRobin() Factory {
-	shared := new(int)
+	shared := new(atomic.Int64)
 	return func(self sched.PID, nbrs []sched.PID, seed int64) Algorithm {
 		return &globalRR{cursor: shared}
 	}
 }
 
 type globalRR struct {
-	cursor *int
+	cursor *atomic.Int64
 }
 
 func (g *globalRR) Name() string { return "ideal" }
 
 func (g *globalRR) Choose(v View) int {
-	idx := *g.cursor % len(v.Neighbours)
-	*g.cursor++
-	return idx
+	return int((g.cursor.Add(1) - 1) % int64(len(v.Neighbours)))
 }
 
 // NewLeastBusy returns the paper's adaptive mapper: choose the neighbour

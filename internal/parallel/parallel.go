@@ -1,0 +1,70 @@
+// Package parallel provides the worker-pool primitive behind the sweep
+// engine: deterministic fan-out of independent jobs over a bounded number of
+// goroutines. Results are always collected by job index, never by completion
+// order, so callers observe bit-identical output at any parallelism level —
+// provided the jobs themselves share no mutable state.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out over a
+// pool of worker goroutines.
+//
+// parallelism selects the pool size; values <= 0 default to
+// runtime.GOMAXPROCS(0), and the pool never exceeds n. With an effective
+// pool of one the calls run inline on the caller's goroutine (no spawning),
+// stopping at the first error, exactly like a plain loop.
+//
+// With a larger pool, a failure stops workers from claiming further jobs
+// (in-flight jobs finish), and the returned error is the lowest-indexed one.
+// Workers claim indices in ascending order, so every job below the lowest
+// failing index has already been claimed by the time any failure is
+// observed: the returned error is exactly the one the serial loop would
+// have stopped at, independent of scheduling.
+func ForEach(n, parallelism int, fn func(i int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		counts := make([]atomic.Int32, 50)
+		if err := ForEach(len(counts), p, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", p, i, got)
+			}
+		}
+	}
+}
+
+func TestReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	for _, p := range []int{1, 4} {
+		err := ForEach(20, p, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 11:
+				return errors.New("b")
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("parallelism %d: err = %v, want lowest-indexed error", p, err)
+		}
+	}
+}
+
+func TestSerialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 3 {
+		t.Fatalf("err = %v, ran = %d; want boom after 3 calls", err, ran)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsIndependentOfParallelism(t *testing.T) {
+	run := func(p int) []int {
+		out := make([]int, 100)
+		if err := ForEach(len(out), p, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, p := range []int{2, 8, 100} {
+		got := run(p)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", p, i, got[i], serial[i])
+			}
+		}
+	}
+}

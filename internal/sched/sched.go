@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"hypersolve/internal/mesh"
+	"hypersolve/internal/ringbuf"
 	"hypersolve/internal/simulator"
 )
 
@@ -183,7 +184,7 @@ type envelope struct {
 // procState is one process slot on a node.
 type procState struct {
 	proc    Process
-	mailbox []inboxEntry
+	mailbox ringbuf.Ring[inboxEntry]
 }
 
 type inboxEntry struct {
@@ -199,9 +200,12 @@ type nodeScheduler struct {
 	node    mesh.NodeID
 	cfg     Config
 	procs   []*procState
-	cursor  int   // round-robin position
-	fifoQ   []int // slot activation order for the FIFO policy
-	backlog int   // total queued mailbox entries
+	// ctxs holds one reusable per-slot Context, built in Init so that
+	// activations do not allocate.
+	ctxs    []Context
+	cursor  int                 // round-robin position
+	fifoQ   ringbuf.Ring[int32] // slot activation order for the FIFO policy
+	backlog int                 // total queued mailbox entries
 	// activations counts process activations on this node, the layer-2
 	// equivalent of the paper's per-node "node activity" metric (it also
 	// covers intra-node messages that never cross the interconnect).
@@ -219,11 +223,13 @@ func newNodeScheduler(c *Cluster, node mesh.NodeID, cfg Config) *nodeScheduler {
 	return ns
 }
 
-// Init initialises every process slot.
+// Init builds the reusable per-slot contexts (the layer-1 context pointer is
+// stable for the whole run) and initialises every process slot.
 func (ns *nodeScheduler) Init(ctx *simulator.Context) {
+	ns.ctxs = make([]Context, len(ns.procs))
 	for slot, ps := range ns.procs {
-		pctx := &Context{cluster: ns.cluster, sched: ns, simctx: ctx, self: ns.cluster.PIDOf(ns.node, slot)}
-		ps.proc.Init(pctx)
+		ns.ctxs[slot] = Context{cluster: ns.cluster, sched: ns, simctx: ctx, self: ns.cluster.PIDOf(ns.node, slot)}
+		ps.proc.Init(&ns.ctxs[slot])
 	}
 }
 
@@ -237,8 +243,8 @@ func (ns *nodeScheduler) Receive(ctx *simulator.Context, src mesh.NodeID, payloa
 	if env.DstSlot < 0 || env.DstSlot >= len(ns.procs) {
 		panic(fmt.Sprintf("sched: node %d received envelope for bad slot %d", ns.node, env.DstSlot))
 	}
-	ns.procs[env.DstSlot].mailbox = append(ns.procs[env.DstSlot].mailbox, inboxEntry{src: env.SrcPID, payload: env.Payload})
-	ns.fifoQ = append(ns.fifoQ, env.DstSlot)
+	ns.procs[env.DstSlot].mailbox.Push(inboxEntry{src: env.SrcPID, payload: env.Payload})
+	ns.fifoQ.Push(int32(env.DstSlot))
 	ns.backlog++
 }
 
@@ -256,12 +262,10 @@ func (ns *nodeScheduler) Tick(ctx *simulator.Context) {
 			break
 		}
 		ps := ns.procs[slot]
-		entry := ps.mailbox[0]
-		ps.mailbox = ps.mailbox[1:]
+		entry, _ := ps.mailbox.Pop()
 		ns.backlog--
 		ns.activations++
-		pctx := &Context{cluster: ns.cluster, sched: ns, simctx: ctx, self: ns.cluster.PIDOf(ns.node, slot)}
-		ps.proc.Receive(pctx, entry.src, entry.payload)
+		ps.proc.Receive(&ns.ctxs[slot], entry.src, entry.payload)
 	}
 }
 
@@ -280,19 +284,20 @@ func (c *Cluster) ActivationsPerNode() []int64 {
 func (ns *nodeScheduler) pickSlot() int {
 	switch ns.cfg.Policy {
 	case FIFO:
-		for len(ns.fifoQ) > 0 {
-			slot := ns.fifoQ[0]
-			ns.fifoQ = ns.fifoQ[1:]
-			if len(ns.procs[slot].mailbox) > 0 {
-				return slot
+		for {
+			slot, ok := ns.fifoQ.Pop()
+			if !ok {
+				return -1
+			}
+			if ns.procs[slot].mailbox.Len() > 0 {
+				return int(slot)
 			}
 		}
-		return -1
 	default: // RoundRobin
 		n := len(ns.procs)
 		for i := 0; i < n; i++ {
 			slot := (ns.cursor + i) % n
-			if len(ns.procs[slot].mailbox) > 0 {
+			if ns.procs[slot].mailbox.Len() > 0 {
 				ns.cursor = (slot + 1) % n
 				return slot
 			}
@@ -346,8 +351,8 @@ func (c *Context) Send(dst PID, payload any) error {
 		// Local delivery: enqueue directly into the sibling mailbox; it
 		// will be activated on a later tick.
 		ns := c.cluster.nodes[dstNode]
-		ns.procs[dstSlot].mailbox = append(ns.procs[dstSlot].mailbox, inboxEntry{src: c.self, payload: payload})
-		ns.fifoQ = append(ns.fifoQ, dstSlot)
+		ns.procs[dstSlot].mailbox.Push(inboxEntry{src: c.self, payload: payload})
+		ns.fifoQ.Push(int32(dstSlot))
 		ns.backlog++
 		return nil
 	}

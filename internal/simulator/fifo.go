@@ -1,0 +1,29 @@
+package simulator
+
+import "hypersolve/internal/ringbuf"
+
+// fifo is the message queue of the simulated machine: a power-of-two ring
+// buffer with arrival-time-aware popping. Unlike its predecessor (an
+// append-and-reslice slice that copy-compacted and re-zeroed its whole tail
+// on every compaction), the ring reuses its backing array across the whole
+// run and zeroes exactly one slot per pop, so steady-state queue traffic is
+// allocation-free.
+type fifo struct {
+	r ringbuf.Ring[Message]
+}
+
+func (q *fifo) push(m Message) { q.r.Push(m) }
+
+func (q *fifo) len() int { return q.r.Len() }
+
+// pop removes the head regardless of arrival time.
+func (q *fifo) pop() (Message, bool) { return q.r.Pop() }
+
+// popDue removes the head only if it has arrived by the given step.
+func (q *fifo) popDue(step int64) (Message, bool) {
+	head, ok := q.r.Peek()
+	if !ok || head.arriveAt > step {
+		return Message{}, false
+	}
+	return q.r.Pop()
+}

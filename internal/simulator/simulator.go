@@ -37,6 +37,7 @@ package simulator
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"hypersolve/internal/mesh"
 )
@@ -223,8 +224,8 @@ type Simulator struct {
 	extQ []fifo
 	// outboxes stage each node's sends until the flush phase.
 	outboxes []fifo
-	// nbrIndex[dst][src] is the inbound link index of src at dst.
-	nbrIndex []map[mesh.NodeID]int
+	// nbrIndex resolves (dst, src) to the inbound link index of src at dst.
+	nbrIndex adjIndex
 	links    *linkLayer
 	stats    Stats
 	injected []Message
@@ -277,7 +278,6 @@ func New(cfg Config) (*Simulator, error) {
 	s := &Simulator{
 		cfg:       cfg,
 		topo:      cfg.Topology,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		handlers:  make([]Handler, n),
 		contexts:  make([]Context, n),
 		inLinks:   make([][]fifo, n),
@@ -285,24 +285,28 @@ func New(cfg Config) (*Simulator, error) {
 		activeSet: make([][]bool, n),
 		extQ:      make([]fifo, n),
 		outboxes:  make([]fifo, n),
-		nbrIndex:  make([]map[mesh.NodeID]int, n),
+		nbrIndex:  newAdjIndex(cfg.Topology),
 		tickers:   make([]Ticker, n),
 		pendings:  make([]Pending, n),
+	}
+	if cfg.LossRate > 0 {
+		// The RNG only drives loss rolls; deterministic runs skip it.
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	s.stats.DeliveredPerNode = make([]int64, n)
 	if cfg.Reliable {
 		s.links = newLinkLayer(cfg.RetransmitAfter)
 	}
+	maxDegree := 0
 	for i := 0; i < n; i++ {
 		id := mesh.NodeID(i)
-		nbrs := s.topo.Neighbours(id)
+		if d := s.topo.Degree(id); d > maxDegree {
+			maxDegree = d
+		}
 		if cfg.QueueModel == LinkQueues {
+			nbrs := s.topo.Neighbours(id)
 			s.inLinks[i] = make([]fifo, len(nbrs))
 			s.activeSet[i] = make([]bool, len(nbrs))
-		}
-		s.nbrIndex[i] = make(map[mesh.NodeID]int, len(nbrs))
-		for j, m := range nbrs {
-			s.nbrIndex[i][m] = j
 		}
 		s.contexts[i] = Context{sim: s, node: id}
 		h := cfg.Factory(id)
@@ -317,6 +321,9 @@ func New(cfg Config) (*Simulator, error) {
 			s.pendings[i] = p
 		}
 	}
+	// Preallocate the per-step delivery snapshot so steady-state stepping
+	// never grows it.
+	s.scratch = make([]int32, 0, maxDegree)
 	return s, nil
 }
 
@@ -361,6 +368,15 @@ func (s *Simulator) Run() Stats {
 	}
 	s.injected = nil
 	s.stats.FirstDelivery = -1
+	if s.cfg.RecordSeries {
+		// Preallocate the series in bulk; runs longer than the initial
+		// guess fall back to append's doubling.
+		capHint := s.cfg.MaxSteps
+		if capHint > 1<<15 {
+			capHint = 1 << 15
+		}
+		s.stats.QueuedSeries = make([]int, 0, capHint)
+	}
 
 	for s.step = 0; s.step < s.cfg.MaxSteps; s.step++ {
 		s.runStep()
@@ -503,7 +519,7 @@ func (s *Simulator) flushOutbox(node int) {
 		var q *fifo
 		var li int32 = -1
 		if s.cfg.QueueModel == LinkQueues {
-			li = int32(s.nbrIndex[dst][msg.Src])
+			li = s.nbrIndex.lookup(msg.Dst, msg.Src)
 			q = &s.inLinks[dst][li]
 		} else {
 			q = &s.extQ[dst]
@@ -534,7 +550,7 @@ func (s *Simulator) send(src, dst mesh.NodeID, payload Payload) error {
 	if int(dst) < 0 || int(dst) >= s.topo.Size() {
 		return fmt.Errorf("simulator: node %d sent to out-of-range node %d", src, dst)
 	}
-	if _, adjacent := s.nbrIndex[dst][src]; !adjacent {
+	if s.nbrIndex.lookup(dst, src) < 0 {
 		return fmt.Errorf("simulator: node %d is not adjacent to node %d in %s", src, dst, s.topo.Name())
 	}
 	msg := Message{Src: src, Dst: dst, Payload: payload, SentAt: s.step}
@@ -588,43 +604,81 @@ func (c *Context) Send(dst mesh.NodeID, payload Payload) error {
 	return c.sim.send(c.node, dst, payload)
 }
 
-// fifo is an amortised O(1) queue of messages.
-type fifo struct {
-	buf  []Message
-	head int
+// adjIndex resolves (dst, src) pairs to the inbound link ordinal of src at
+// dst, replacing the per-send map lookups of the original implementation
+// with dense precomputed slices in compressed-sparse-row layout: one flat
+// offsets slice plus per-destination neighbour segments sorted by source id.
+// Memory is O(links) (a dense n*n matrix would cost 4 MiB per 1024-node
+// machine, multiplied by the sweep engine's parallelism), and a lookup is a
+// short scan or binary search over a contiguous segment — no hashing, no
+// pointer chasing.
+type adjIndex struct {
+	off []int32       // off[dst]..off[dst+1] brackets dst's segment
+	nbr []mesh.NodeID // neighbour ids, sorted within each segment
+	ord []int32       // inbound link ordinal at dst, parallel to nbr
 }
 
-func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
-
-func (q *fifo) len() int { return len(q.buf) - q.head }
-
-// pop removes the head regardless of arrival time.
-func (q *fifo) pop() (Message, bool) {
-	if q.head >= len(q.buf) {
-		return Message{}, false
+func newAdjIndex(topo mesh.Topology) adjIndex {
+	n := topo.Size()
+	a := adjIndex{off: make([]int32, n+1)}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += topo.Degree(mesh.NodeID(i))
 	}
-	m := q.buf[q.head]
-	q.buf[q.head] = Message{} // release payload reference
-	q.head++
-	q.compact()
-	return m, true
-}
-
-// popDue removes the head only if it has arrived by the given step.
-func (q *fifo) popDue(step int64) (Message, bool) {
-	if q.head >= len(q.buf) || q.buf[q.head].arriveAt > step {
-		return Message{}, false
-	}
-	return q.pop()
-}
-
-func (q *fifo) compact() {
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = Message{}
+	a.nbr = make([]mesh.NodeID, 0, total)
+	a.ord = make([]int32, 0, total)
+	for i := 0; i < n; i++ {
+		a.off[i] = int32(len(a.nbr))
+		start := len(a.nbr)
+		for j, m := range topo.Neighbours(mesh.NodeID(i)) {
+			a.nbr = append(a.nbr, m)
+			a.ord = append(a.ord, int32(j))
 		}
-		q.buf = q.buf[:n]
-		q.head = 0
+		sort.Sort(adjSegment{nbr: a.nbr[start:], ord: a.ord[start:]})
 	}
+	a.off[n] = int32(len(a.nbr))
+	return a
+}
+
+// adjSegment sorts one destination's (neighbour, ordinal) pairs by
+// neighbour id.
+type adjSegment struct {
+	nbr []mesh.NodeID
+	ord []int32
+}
+
+func (s adjSegment) Len() int           { return len(s.nbr) }
+func (s adjSegment) Less(i, j int) bool { return s.nbr[i] < s.nbr[j] }
+func (s adjSegment) Swap(i, j int) {
+	s.nbr[i], s.nbr[j] = s.nbr[j], s.nbr[i]
+	s.ord[i], s.ord[j] = s.ord[j], s.ord[i]
+}
+
+// lookup returns the inbound link ordinal of src at dst, or -1 when the
+// nodes are not adjacent.
+func (a *adjIndex) lookup(dst, src mesh.NodeID) int32 {
+	lo, hi := a.off[int(dst)], a.off[int(dst)+1]
+	if hi-lo <= 8 {
+		// Mesh-like topologies have single-digit degree: a linear scan over
+		// the contiguous segment beats a branchy binary search.
+		for i := lo; i < hi; i++ {
+			if a.nbr[i] == src {
+				return a.ord[i]
+			}
+		}
+		return -1
+	}
+	end := hi
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if a.nbr[mid] < src {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && a.nbr[lo] == src {
+		return a.ord[lo]
+	}
+	return -1
 }

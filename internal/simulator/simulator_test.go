@@ -504,30 +504,6 @@ func TestEmptyRunQuiescesImmediately(t *testing.T) {
 	}
 }
 
-func TestFifoCompaction(t *testing.T) {
-	var q fifo
-	for round := 0; round < 10; round++ {
-		for i := 0; i < 100; i++ {
-			q.push(Message{SentAt: int64(i)})
-		}
-		for i := 0; i < 100; i++ {
-			m, ok := q.pop()
-			if !ok {
-				t.Fatal("premature empty")
-			}
-			if m.SentAt != int64(i) {
-				t.Fatalf("FIFO order violated: got %d want %d", m.SentAt, i)
-			}
-		}
-	}
-	if q.len() != 0 {
-		t.Fatalf("len = %d, want 0", q.len())
-	}
-	if cap(q.buf) > 256 {
-		t.Errorf("fifo failed to compact: cap = %d", cap(q.buf))
-	}
-}
-
 func TestDedupHighWater(t *testing.T) {
 	d := &dedup{sparse: make(map[uint64]bool)}
 	for _, seq := range []uint64{0, 2, 1, 1, 0, 3} {
