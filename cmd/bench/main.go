@@ -1,12 +1,14 @@
 // Command bench runs the repository's fixed performance suite and writes a
 // machine-readable JSON report, giving successive PRs a comparable
-// performance trajectory. It measures three things:
+// performance trajectory. It measures four things:
 //
 //   - the raw layer-1 step loop (a message flood on a 32x32 torus),
 //   - one full five-layer SAT solve (the hot Figure 4 point: uf50-218 on the
 //     196-core 2D torus, round-robin mapping),
 //   - the sweep engine's wall-clock speedup: the quick Figure 4 sweep run
-//     serially and again at -parallel workers, with a bit-identity check.
+//     serially and again at -parallel workers, with a bit-identity check,
+//   - the solve service's throughput: 100 uf20 jobs pushed through the
+//     bounded admission queue (depth 64) into the worker pool, in jobs/sec.
 //
 // Usage:
 //
@@ -20,17 +22,20 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"hypersolve/internal/experiments"
 	"hypersolve/internal/mesh"
 	"hypersolve/internal/sat"
+	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
 
 	hypersolve "hypersolve"
@@ -54,12 +59,21 @@ type sweepEntry struct {
 	BitIdentical   bool    `json:"bit_identical"`
 }
 
+type serviceEntry struct {
+	Jobs       int     `json:"jobs"`
+	QueueDepth int     `json:"queue_depth"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
 type report struct {
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	CPUs       int          `json:"num_cpu"`
 	Benchmarks []benchEntry `json:"benchmarks"`
 	Sweep      sweepEntry   `json:"sweep"`
+	Service    serviceEntry `json:"service"`
 }
 
 func main() {
@@ -89,6 +103,13 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Sweep = sweep
+	fmt.Fprintln(os.Stderr, "bench: service throughput (uf20 jobs through the queue at depth 64)...")
+	svcEntry, err := benchService(*par)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Service = svcEntry
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -100,8 +121,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d)\n",
-		*out, sweep.Speedup, sweep.Parallelism)
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s)\n",
+		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec)
 	fmt.Print(string(data))
 }
 
@@ -235,5 +256,75 @@ func benchSweep(par int) (sweepEntry, error) {
 		ParallelSecond: parDur.Seconds(),
 		Speedup:        serialDur.Seconds() / parDur.Seconds(),
 		BitIdentical:   reflect.DeepEqual(serialPts, parPts),
+	}, nil
+}
+
+// benchService measures the solve service's end-to-end throughput: a burst
+// of uf20 SAT jobs pushed through the bounded admission queue (depth 64) and
+// a worker pool, counting jobs per second from first submit to last
+// completion. Submissions bounced by a full queue are retried, so the
+// figure includes admission backpressure, store bookkeeping and result
+// serialisation overhead, not just solve time.
+func benchService(workers int) (serviceEntry, error) {
+	const jobs = 100
+	const depth = 64
+	suite, err := hypersolve.GenerateSATSuite(sat.UF20Params(23))
+	if err != nil {
+		return serviceEntry{}, err
+	}
+	specs := make([]hypersolve.JobSpec, jobs)
+	for i := range specs {
+		var cnf strings.Builder
+		if err := sat.WriteDIMACS(&cnf, suite[i%len(suite)]); err != nil {
+			return serviceEntry{}, err
+		}
+		specs[i] = hypersolve.JobSpec{
+			Kind:     "sat",
+			CNF:      cnf.String(),
+			Topology: "torus:8x8",
+			Mapper:   "lbn",
+			Seed:     int64(i),
+		}
+	}
+
+	svc := hypersolve.NewSolveService(hypersolve.SolveServiceConfig{QueueDepth: depth, Workers: workers})
+	defer svc.Close()
+	start := time.Now()
+	ids := make([]int64, 0, jobs)
+	for _, spec := range specs {
+		for {
+			job, err := svc.Submit(spec)
+			if err == nil {
+				ids = append(ids, job.ID)
+				break
+			}
+			if !errors.Is(err, service.ErrQueueFull) {
+				return serviceEntry{}, err
+			}
+			time.Sleep(200 * time.Microsecond) // backpressure: retry
+		}
+	}
+	for _, id := range ids {
+		for {
+			j, ok := svc.Get(id)
+			if !ok {
+				return serviceEntry{}, fmt.Errorf("bench: job %d vanished", id)
+			}
+			if j.State.Terminal() {
+				if j.State != service.StateDone {
+					return serviceEntry{}, fmt.Errorf("bench: job %d ended %s: %s", id, j.State, j.Error)
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	elapsed := time.Since(start)
+	return serviceEntry{
+		Jobs:       jobs,
+		QueueDepth: depth,
+		Workers:    workers,
+		Seconds:    elapsed.Seconds(),
+		JobsPerSec: float64(jobs) / elapsed.Seconds(),
 	}, nil
 }

@@ -1,0 +1,221 @@
+// Command hyperctl is the client CLI of the hypersolved solve service.
+//
+//	hyperctl [-addr http://localhost:8080] <subcommand> [flags]
+//
+// Subcommands:
+//
+//	submit  submit a job; -cnf FILE submits a DIMACS formula end-to-end
+//	status  print one job (or all jobs with no argument)
+//	wait    poll a job until it reaches a terminal state
+//	cancel  cancel a queued or running job
+//	health  print the server's liveness report
+//
+// Examples:
+//
+//	hyperctl submit -kind sat -cnf uf20.cnf -topo torus:14x14 -mapper lbn -wait
+//	hyperctl submit -kind queens -n 7
+//	hyperctl status 3
+//	hyperctl wait 3 -timeout 60s
+//	hyperctl cancel 3
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypersolve/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", envOr("HYPERSOLVED_ADDR", "http://localhost:8080"), "hypersolved base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	client := &service.Client{Base: *addr}
+	if err := dispatch(client, flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|wait|cancel|health} [flags]\n")
+	flag.PrintDefaults()
+}
+
+func dispatch(client *service.Client, cmd string, args []string) error {
+	ctx := context.Background()
+	switch cmd {
+	case "submit":
+		return submit(ctx, client, args)
+	case "status":
+		return status(ctx, client, args)
+	case "wait":
+		return wait(ctx, client, args)
+	case "cancel":
+		return cancel(ctx, client, args)
+	case "health":
+		h, err := client.Health(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(h)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want submit|status|wait|cancel|health)", cmd)
+	}
+}
+
+func submit(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		kind      = fs.String("kind", "sat", "workload: sat, queens, knapsack, sum, fib, unbalanced")
+		n         = fs.Int("n", 0, "task parameter (see JobSpec.N)")
+		cnfPath   = fs.String("cnf", "", "DIMACS file to submit (kind sat)")
+		heuristic = fs.String("heuristic", "", "sat branching heuristic: first, freq, jw, dlis")
+		topo      = fs.String("topo", "", "topology spec (default torus:14x14)")
+		mapper    = fs.String("mapper", "", "mapper spec (default rr)")
+		procs     = fs.Int("procs", 0, "logical processes per core")
+		seed      = fs.Int64("seed", 1, "random seed")
+		maxSteps  = fs.Int64("max-steps", 0, "simulation step budget (0 = default)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock deadline once running (0 = none)")
+		series    = fs.Bool("series", false, "include the interconnect activity trace in the result")
+		heatmap   = fs.Bool("heatmap", false, "include the node activity heatmap in the result")
+		doWait    = fs.Bool("wait", false, "wait for the job to finish and print the final record")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := service.JobSpec{
+		Kind:         *kind,
+		N:            *n,
+		Heuristic:    *heuristic,
+		Topology:     *topo,
+		Mapper:       *mapper,
+		ProcsPerNode: *procs,
+		Seed:         *seed,
+		MaxSteps:     *maxSteps,
+		TimeoutMs:    timeout.Milliseconds(),
+		RecordSeries: *series,
+		Heatmap:      *heatmap,
+	}
+	if *cnfPath != "" {
+		data, err := os.ReadFile(*cnfPath)
+		if err != nil {
+			return err
+		}
+		spec.CNF = string(data)
+	}
+	job, err := client.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*doWait {
+		return printJSON(job)
+	}
+	job, err = client.Wait(ctx, job.ID, 0)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func status(ctx context.Context, client *service.Client, args []string) error {
+	if len(args) == 0 {
+		jobs, err := client.List(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(jobs)
+	}
+	id, err := parseID(args[0])
+	if err != nil {
+		return err
+	}
+	job, err := client.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func wait(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	interval := fs.Duration("interval", 100*time.Millisecond, "poll interval")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	// Accept the id before the flags ("wait 3 -timeout 60s"), matching the
+	// other subcommands; stdlib flag parsing stops at the first positional
+	// argument otherwise.
+	var idArg string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		idArg, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case idArg == "" && fs.NArg() == 1:
+		idArg = fs.Arg(0)
+	case idArg != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("usage: hyperctl wait <id> [-interval D] [-timeout D]")
+	}
+	id, err := parseID(idArg)
+	if err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	job, err := client.Wait(ctx, id, *interval)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func cancel(ctx context.Context, client *service.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hyperctl cancel <id>")
+	}
+	id, err := parseID(args[0])
+	if err != nil {
+		return err
+	}
+	job, err := client.Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(job)
+}
+
+func parseID(s string) (int64, error) {
+	id, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad job id %q", s)
+	}
+	return id, nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}

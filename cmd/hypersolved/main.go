@@ -1,0 +1,84 @@
+// Command hypersolved runs the solve service: a long-lived HTTP JSON server
+// that accepts solve jobs, queues them behind a bounded admission queue, and
+// executes them on a pool of simulated hyperspace machines.
+//
+//	hypersolved -addr :8080 -queue 64 -workers 4
+//
+// API (see internal/service for the spec and payload shapes):
+//
+//	POST   /v1/jobs      submit a JobSpec  (429 when the queue is full)
+//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs/{id} job status + result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness + queue occupancy
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"queens","n":6,"topology":"torus:8x8","mapper":"lbn"}'
+//	curl -s localhost:8080/v1/jobs/1
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight HTTP requests finish, queued jobs are cancelled and running
+// solves are interrupted at the next cancellation slice.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hypersolve/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 64, "admission queue depth (jobs beyond it are rejected with 429)")
+		workers = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, *queue, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "hypersolved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queue, workers int) error {
+	svc := service.New(service.Config{QueueDepth: queue, Workers: workers})
+	depth, pool := svc.Queue()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hypersolved: listening on %s (queue depth %d, %d workers)\n", addr, depth, pool)
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "hypersolved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

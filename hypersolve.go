@@ -31,6 +31,8 @@
 package hypersolve
 
 import (
+	"net/http"
+
 	"hypersolve/internal/apps"
 	"hypersolve/internal/core"
 	"hypersolve/internal/mapping"
@@ -39,6 +41,7 @@ import (
 	"hypersolve/internal/recursion"
 	"hypersolve/internal/sat"
 	"hypersolve/internal/sched"
+	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
 )
 
@@ -54,6 +57,22 @@ type Config = core.Config
 type Result = core.Result
 
 // Machine is a configured five-layer stack.
+//
+// Beyond Run, a Machine supports context-aware execution via RunContext:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	res, err := machine.RunContext(ctx, arg)
+//
+// The layer-1 step loop polls the context once every
+// simulator.CancelSliceSteps simulation steps, so cancellation (or deadline
+// expiry) interrupts a run within one slice; the returned error wraps
+// ctx's cause and the partial Result carries the statistics accumulated up
+// to the interruption (Result.Stats.Interrupted is set). Runs that complete
+// are bit-identical to Run's at any cancellation pressure — the poll only
+// ever aborts the step loop, never reorders it. The solve service
+// (NewSolveService, cmd/hypersolved) builds its per-job cancellation and
+// deadline enforcement on this primitive.
 type Machine = core.Machine
 
 // NewMachine validates a configuration and builds the stack.
@@ -275,3 +294,52 @@ func GlobalRoundRobinMapper() MapperFactory { return mapping.NewGlobalRoundRobin
 // set; see core.Result. The recursion-layer options type is re-exported for
 // direct layer composition.
 type RecursionOptions = recursion.Options
+
+// ---------------------------------------------------------------------------
+// Solve service (cmd/hypersolved, cmd/hyperctl)
+// ---------------------------------------------------------------------------
+
+// JobSpec describes one solve job submitted to the service: the problem
+// kind and its parameters plus the machine to run it on.
+type JobSpec = service.JobSpec
+
+// LinkSpec is the JSON shape of JobSpec's layer-1 link-model extensions.
+type LinkSpec = service.LinkSpec
+
+// Job is a tracked solve: spec, lifecycle state, timestamps and result.
+type Job = service.Job
+
+// JobResult is the JSON result payload of a completed job.
+type JobResult = service.JobResult
+
+// JobState is a job's lifecycle stage: queued, running, done, failed or
+// cancelled.
+type JobState = service.State
+
+// Job lifecycle states.
+const (
+	JobQueued    = service.StateQueued
+	JobRunning   = service.StateRunning
+	JobDone      = service.StateDone
+	JobFailed    = service.StateFailed
+	JobCancelled = service.StateCancelled
+)
+
+// SolveService is a long-lived multi-tenant solve backend: a bounded FIFO
+// admission queue feeding a worker pool of simulated machines, with per-job
+// cancellation and deadline enforcement.
+type SolveService = service.Service
+
+// SolveServiceConfig sizes a SolveService (queue depth, worker count).
+type SolveServiceConfig = service.Config
+
+// NewSolveService starts a solve service; Close stops it.
+func NewSolveService(cfg SolveServiceConfig) *SolveService { return service.New(cfg) }
+
+// NewSolveHandler wraps a service in its HTTP JSON API (the surface served
+// by cmd/hypersolved).
+func NewSolveHandler(s *SolveService) http.Handler { return service.NewHandler(s) }
+
+// SolveClient is the Go client of a hypersolved server, as used by
+// cmd/hyperctl.
+type SolveClient = service.Client

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hypersolve/internal/mapping"
@@ -158,10 +159,22 @@ func (m *Machine) Network() *mapping.Network { return m.net }
 // the simulation to quiescence (or MaxSteps) and collects the result.
 // A Machine instance runs once; build a new one for another run.
 func (m *Machine) Run(arg recursion.Value) (Result, error) {
+	return m.RunContext(context.Background(), arg)
+}
+
+// RunContext is Run with cooperative cancellation and deadline enforcement:
+// the layer-1 step loop polls ctx once every simulator.CancelSliceSteps
+// steps and abandons the run (unwinding all outstanding frames) when the
+// context is cancelled or past its deadline. The returned error wraps
+// ctx.Err() and the partial Result carries the statistics accumulated up to
+// the interruption. Runs that complete are bit-identical to Run's — the
+// poll only ever aborts the loop, never reorders it — so determinism of
+// completed runs is preserved at any cancellation pressure.
+func (m *Machine) RunContext(ctx context.Context, arg recursion.Value) (Result, error) {
 	if err := m.net.Trigger(m.cfg.Root, arg); err != nil {
 		return Result{}, err
 	}
-	stats := m.net.Run()
+	stats := m.net.RunContext(ctx)
 
 	res := Result{
 		Stats:           stats,
@@ -190,6 +203,9 @@ func (m *Machine) Run(arg recursion.Value) (Result, error) {
 		for pid := 0; pid < size; pid++ {
 			m.net.App(sched.PID(pid)).(*recursion.Runtime).Abort()
 		}
+	}
+	if stats.Interrupted {
+		return res, fmt.Errorf("core: run interrupted: %w", context.Cause(ctx))
 	}
 	return res, nil
 }

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"hypersolve/internal/apps"
 	"hypersolve/internal/mapping"
@@ -10,6 +14,7 @@ import (
 	"hypersolve/internal/recursion"
 	"hypersolve/internal/sat"
 	"hypersolve/internal/sched"
+	"hypersolve/internal/simulator"
 )
 
 func TestMachineRunsSum(t *testing.T) {
@@ -254,5 +259,92 @@ func TestCancelSpeculativePreservesSATVerdicts(t *testing.T) {
 		if want == sat.SAT && res.FramesCancelled == 0 {
 			t.Errorf("instance %d: SAT run cancelled no frames", i)
 		}
+	}
+}
+
+// slowConfig builds a machine whose run spans tens of millions of cheap
+// steps: a linear sum chain over high-latency links on a tiny ring.
+func slowConfig() Config {
+	return Config{
+		Topology: mesh.MustRing(4),
+		Mapper:   mapping.NewRoundRobin(),
+		Task:     apps.SumTask(),
+		Link:     simulator.Config{LinkLatency: 50000},
+		MaxSteps: 1 << 40,
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	m, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := m.RunContext(ctx, 500)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !res.Stats.Interrupted || res.Stats.Quiescent {
+		t.Fatalf("stats = %+v, want interrupted, not quiescent", res.Stats)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want well under the full run", elapsed)
+	}
+	if res.OK {
+		t.Fatal("interrupted run reported OK")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := m.RunContext(ctx, 500)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if !res.Stats.Interrupted {
+		t.Fatalf("stats = %+v, want interrupted", res.Stats)
+	}
+}
+
+// TestRunContextCompletedRunsIdentical is the determinism guarantee: a run
+// that completes under an (unfired) cancellable context is bit-identical to
+// a plain Run of the same config and seed.
+func TestRunContextCompletedRunsIdentical(t *testing.T) {
+	cfg := Config{
+		Topology:     mesh.MustTorus(5, 5),
+		Mapper:       mapping.NewLeastBusy(),
+		Task:         apps.SumTask(),
+		Seed:         11,
+		RecordSeries: true,
+	}
+	plain, err := RunOnce(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	viaCtx, err := m.RunContext(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaCtx) {
+		t.Fatalf("RunContext result differs from Run:\nrun:  %+v\nctx:  %+v", plain, viaCtx)
 	}
 }

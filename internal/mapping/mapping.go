@@ -20,6 +20,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"hypersolve/internal/mesh"
@@ -191,6 +192,10 @@ func (n *Network) Trigger(dst sched.PID, payload any) error {
 
 // Run executes the simulation to quiescence.
 func (n *Network) Run() simulator.Stats { return n.cluster.Run() }
+
+// RunContext is Run with cooperative cancellation; see
+// simulator.RunContext for the slice-granular polling contract.
+func (n *Network) RunContext(ctx context.Context) simulator.Stats { return n.cluster.RunContext(ctx) }
 
 // envelope is the layer-3 wire format.
 type envelope struct {

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -180,6 +181,40 @@ func (h *Heatmap) ImbalanceCV() float64 {
 		return 0
 	}
 	return s.Std / s.Mean
+}
+
+// heatmapJSON is the stable wire format of a Heatmap: dimensions plus the
+// row-major cell grid, as served by the solve service's result payloads.
+type heatmapJSON struct {
+	W     int       `json:"w"`
+	H     int       `json:"h"`
+	Cells []float64 `json:"cells"`
+}
+
+// MarshalJSON serialises the heatmap as {"w":…,"h":…,"cells":[…]} with
+// row-major cells.
+func (h *Heatmap) MarshalJSON() ([]byte, error) {
+	return json.Marshal(heatmapJSON{W: h.W, H: h.H, Cells: h.Cells})
+}
+
+// UnmarshalJSON parses the MarshalJSON format, validating that the cell
+// count matches the dimensions (a nil cell array is accepted as all-zero).
+func (h *Heatmap) UnmarshalJSON(data []byte) error {
+	var raw heatmapJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.W < 0 || raw.H < 0 {
+		return fmt.Errorf("metrics: heatmap with negative dimensions %dx%d", raw.W, raw.H)
+	}
+	if raw.Cells == nil {
+		raw.Cells = make([]float64, raw.W*raw.H)
+	}
+	if len(raw.Cells) != raw.W*raw.H {
+		return fmt.Errorf("metrics: heatmap %dx%d carries %d cells, want %d", raw.W, raw.H, len(raw.Cells), raw.W*raw.H)
+	}
+	h.W, h.H, h.Cells = raw.W, raw.H, raw.Cells
+	return nil
 }
 
 // shades are the glyph ramp for ASCII heatmaps and sparklines.

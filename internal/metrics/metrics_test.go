@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -196,5 +198,64 @@ func TestCSV(t *testing.T) {
 	want := "cores,perf\n16,0.5\n64,0.25\n"
 	if out != want {
 		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestHeatmapJSONRoundTrip(t *testing.T) {
+	h := NewHeatmap(3, 2)
+	h.Add(0, 0, 1.5)
+	h.Add(2, 1, 4)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"w":3,"h":2,"cells":[1.5,0,0,0,0,4]}`
+	if string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	var back Heatmap
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, h) {
+		t.Errorf("round trip = %+v, want %+v", back, *h)
+	}
+}
+
+func TestHeatmapJSONValidation(t *testing.T) {
+	var h Heatmap
+	for _, src := range []string{
+		`{"w":2,"h":2,"cells":[1]}`,  // cell count mismatch
+		`{"w":-1,"h":2,"cells":[]}`,  // negative dimension
+		`{"w":"x","h":2,"cells":[]}`, // wrong type
+	} {
+		if err := json.Unmarshal([]byte(src), &h); err == nil {
+			t.Errorf("Unmarshal(%s) accepted, want error", src)
+		}
+	}
+	// A nil cell array is an all-zero grid.
+	if err := json.Unmarshal([]byte(`{"w":2,"h":1}`), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.W != 2 || h.H != 1 || len(h.Cells) != 2 {
+		t.Errorf("nil-cells heatmap = %+v", h)
+	}
+}
+
+func TestSeriesJSON(t *testing.T) {
+	s := Series{3, 1, 4}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[3,1,4]" {
+		t.Errorf("series marshal = %s", data)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("series round trip = %v", back)
 	}
 }

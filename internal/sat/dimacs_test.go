@@ -1,0 +1,65 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDIMACSSATLIBQuirks pins the parser's tolerance for the formatting of
+// real SATLIB benchmark files: the "%\n0\n" end-of-file trailer, a final
+// clause missing its terminating 0, and the hard error on a clause count
+// that disagrees with the problem line.
+func TestDIMACSSATLIBQuirks(t *testing.T) {
+	t.Run("satlib trailer", func(t *testing.T) {
+		// The exact shape of a SATLIB uf files' tail: declared clause
+		// count, the clauses, then a lone '%' line and a lone '0' line.
+		// Before the '%'-terminates-input rule, the trailing 0 was parsed
+		// as an empty clause and the file was rejected for a clause-count
+		// mismatch.
+		src := "c uf3-3 style\np cnf 3 3\n1 -2 0\n-1 3 0\n2 -3 0\n%\n0\n"
+		f, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("SATLIB trailer rejected: %v", err)
+		}
+		if f.NumVars != 3 || len(f.Clauses) != 3 {
+			t.Fatalf("parsed %d vars %d clauses, want 3 and 3", f.NumVars, len(f.Clauses))
+		}
+		// Everything after the marker is padding, even if it looks like CNF.
+		src2 := "p cnf 2 1\n1 2 0\n%\n0\n-1 -2 0\n"
+		f2, err := ParseDIMACS(strings.NewReader(src2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f2.Clauses) != 1 {
+			t.Fatalf("clauses after the %% marker were parsed: %v", f2.Clauses)
+		}
+	})
+
+	t.Run("unterminated final clause", func(t *testing.T) {
+		src := "p cnf 3 2\n1 -2 0\n2 3"
+		f, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("unterminated final clause rejected: %v", err)
+		}
+		if len(f.Clauses) != 2 || len(f.Clauses[1]) != 2 {
+			t.Fatalf("final clause parsed as %v", f.Clauses)
+		}
+		if f.Clauses[1][0] != 2 || f.Clauses[1][1] != 3 {
+			t.Fatalf("final clause literals = %v, want [2 3]", f.Clauses[1])
+		}
+	})
+
+	t.Run("clause count mismatch", func(t *testing.T) {
+		for _, src := range []string{
+			"p cnf 3 3\n1 -2 0\n2 3 0\n",       // fewer than declared
+			"p cnf 3 1\n1 -2 0\n2 3 0\n",       // more than declared
+			"p cnf 3 3\n1 -2 0\n2 3 0\n%\n0\n", // trailer doesn't pad a short file
+			"p cnf 3 1\n1 -2 0\n2 3",           // unterminated clause still counts
+		} {
+			if _, err := ParseDIMACS(strings.NewReader(src)); err == nil ||
+				!strings.Contains(err.Error(), "clauses") {
+				t.Errorf("ParseDIMACS(%q) = %v, want clause-count error", src, err)
+			}
+		}
+	})
+}

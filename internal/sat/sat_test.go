@@ -382,8 +382,9 @@ func TestDIMACSParseVariants(t *testing.T) {
 	src := `c a comment
 p cnf 3 2
 1 -2 0
-% another comment style
 2 3 0
+% SATLIB end-of-file marker
+0
 `
 	f, err := ParseDIMACS(strings.NewReader(src))
 	if err != nil {

@@ -19,6 +19,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"hypersolve/internal/mesh"
@@ -158,6 +159,10 @@ func (c *Cluster) Inject(dst PID, payload any) error {
 
 // Run executes the simulation to quiescence and returns layer-1 statistics.
 func (c *Cluster) Run() simulator.Stats { return c.sim.Run() }
+
+// RunContext is Run with cooperative cancellation; see
+// simulator.RunContext for the slice-granular polling contract.
+func (c *Cluster) RunContext(ctx context.Context) simulator.Stats { return c.sim.RunContext(ctx) }
 
 // PIDOf maps (physical node, slot) to a PID.
 func (c *Cluster) PIDOf(node mesh.NodeID, slot int) PID {

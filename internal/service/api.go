@@ -1,0 +1,131 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Health is the /healthz payload: a liveness verdict plus queue occupancy.
+type Health struct {
+	Status     string        `json:"status"`
+	QueueDepth int           `json:"queue_depth"`
+	Workers    int           `json:"workers"`
+	Jobs       map[State]int `json:"jobs"`
+}
+
+// maxSpecBytes bounds a submitted job spec (the CNF text dominates; 64 MiB
+// covers every SATLIB-scale instance with two orders of magnitude to
+// spare).
+const maxSpecBytes = 64 << 20
+
+// NewHandler wraps a service in its HTTP JSON surface:
+//
+//	POST   /v1/jobs      submit a JobSpec  → 202 Job (429 when the queue is full)
+//	GET    /v1/jobs      list all jobs     → 200 []Job
+//	GET    /v1/jobs/{id} fetch one job     → 200 Job
+//	DELETE /v1/jobs/{id} cancel a job      → 200 Job (409 when already terminal)
+//	GET    /healthz      liveness + queue occupancy
+//
+// Errors are returned as {"error": "..."} with the matching status code.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		// Bound the request body: admission control is pointless if one
+		// oversized spec can exhaust memory before it reaches the queue.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, fmt.Errorf("decoding job spec: %w", err))
+			return
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		job, found := s.Get(id)
+		if !found {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		job, err := s.Cancel(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrFinished):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, job)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		depth, workers := s.Queue()
+		writeJSON(w, http.StatusOK, Health{
+			Status:     "ok",
+			QueueDepth: depth,
+			Workers:    workers,
+			Jobs:       s.Counts(),
+		})
+	})
+	return mux
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to salvage
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

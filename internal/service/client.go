@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a hypersolved server. The zero value is not usable; set
+// Base to the server's root URL (e.g. "http://localhost:8080").
+type Client struct {
+	// Base is the server root URL, without a trailing slash.
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response decoded into an error. StatusCode lets
+// callers distinguish overload (429) from bad specs (400).
+type apiError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsOverloaded reports whether the error is the server's queue-full
+// rejection (HTTP 429), the signal to back off and resubmit.
+func IsOverloaded(err error) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job and returns its accepted record.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &job)
+	return job, err
+}
+
+// Get fetches one job.
+func (c *Client) Get(ctx context.Context, id int64) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &job)
+	return job, err
+}
+
+// List fetches all jobs.
+func (c *Client) List(ctx context.Context) ([]Job, error) {
+	var jobs []Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jobs)
+	return jobs, err
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id int64) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/jobs/%d", id), nil, &job)
+	return job, err
+}
+
+// Health fetches the server's liveness report.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Wait polls a job every interval (default 100ms) until it reaches a
+// terminal state or ctx expires, returning the final record.
+func (c *Client) Wait(ctx context.Context, id int64, interval time.Duration) (Job, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		job, err := c.Get(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

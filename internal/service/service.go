@@ -1,0 +1,423 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hypersolve/internal/core"
+	"hypersolve/internal/metrics"
+	"hypersolve/internal/parallel"
+	"hypersolve/internal/sat"
+	"hypersolve/internal/simulator"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SATResult is the SAT-specific slice of a job result: the verdict, the
+// witness assignment as DIMACS-style literals, and whether the service
+// verified the assignment against the formula.
+type SATResult struct {
+	Status     string `json:"status"`
+	Assignment []int  `json:"assignment,omitempty"`
+	Verified   bool   `json:"verified,omitempty"`
+}
+
+// JobResult is the JSON payload of a completed job: the root value, the
+// paper's metrics, the raw layer-1 statistics, and the optional activity
+// snapshots requested by the spec.
+type JobResult struct {
+	// OK is false when the run hit MaxSteps before the root completed.
+	OK bool `json:"ok"`
+	// Value is the root task's return value for the integer-valued kinds
+	// (sum, fib, queens, knapsack, unbalanced).
+	Value any `json:"value,omitempty"`
+	// SAT carries the verdict for sat/dimacs jobs.
+	SAT *SATResult `json:"sat,omitempty"`
+
+	ComputationTime int64           `json:"computation_time"`
+	Performance     float64         `json:"performance"`
+	Stats           simulator.Stats `json:"stats"`
+
+	// Series is the interconnect activity trace (spec.RecordSeries).
+	Series metrics.Series `json:"series,omitempty"`
+	// Heatmap is the node activity grid (spec.Heatmap).
+	Heatmap *metrics.Heatmap `json:"heatmap,omitempty"`
+}
+
+// Job is one tracked solve: the spec, its lifecycle state and timestamps,
+// and — once terminal — the result or failure reason. Jobs are plain value
+// records; the service hands out copies, never aliases into the store.
+type Job struct {
+	ID    int64   `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+
+	// raw preserves the undecoded core.Result for in-process callers (the
+	// determinism tests compare it bit-for-bit against a serial run).
+	raw *core.Result
+	// built caches the admission-time compilation of Spec so the worker
+	// does not parse the formula or rebuild the config a second time; it
+	// is dropped once the job goes terminal.
+	built *buildOut
+}
+
+// Raw returns the undecoded core.Result of a done job (nil otherwise).
+func (j Job) Raw() *core.Result { return j.raw }
+
+// Sentinel errors of the admission and cancellation paths; the HTTP layer
+// maps them onto status codes (429, 404, 409, 503).
+var (
+	ErrQueueFull = errors.New("service: queue full")
+	ErrClosed    = errors.New("service: closed")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrFinished  = errors.New("service: job already finished")
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueDepth bounds how many jobs may wait for a worker; submissions
+	// beyond it are rejected with ErrQueueFull. Values <= 0 default to 64.
+	QueueDepth int
+	// Workers is the number of long-lived solve workers. Values <= 0
+	// default to runtime.GOMAXPROCS(0).
+	Workers int
+	// History bounds how many terminal jobs the store retains: once
+	// exceeded, the oldest-finished jobs are evicted (Get returns not
+	// found for them). Values <= 0 default to 4096, keeping a long-lived
+	// daemon's memory bounded.
+	History int
+}
+
+// Service is a long-lived multi-tenant solve backend: an in-memory job
+// store with monotonic IDs, a bounded FIFO admission queue, and a worker
+// pool draining it. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	wake    *sync.Cond // signalled when pending grows or the service closes
+	jobs    map[int64]*Job
+	nextID  int64
+	pending []int64 // FIFO of queued job IDs; its length is the queue load
+	// finished lists terminal job IDs in completion order, driving
+	// History eviction.
+	finished []int64
+	cancels  map[int64]context.CancelFunc
+	closed   bool
+
+	// root is the ancestor context of every job run; Close cancels it so
+	// in-flight solves stop within one cancellation slice.
+	root       context.Context
+	cancelRoot context.CancelFunc
+	done       chan struct{}
+}
+
+// New starts a service: its workers run until Close.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.History <= 0 {
+		cfg.History = 4096
+	}
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[int64]*Job),
+		cancels: make(map[int64]context.CancelFunc),
+		done:    make(chan struct{}),
+	}
+	s.wake = sync.NewCond(&s.mu)
+	s.root, s.cancelRoot = context.WithCancel(context.Background())
+	go func() {
+		defer close(s.done)
+		// The pool is the sweep engine's primitive pointed at an unbounded
+		// stream: each of Workers indices runs a drain loop over the shared
+		// admission queue until Close.
+		_ = parallel.ForEach(cfg.Workers, cfg.Workers, func(int) error {
+			for {
+				id, ok := s.next()
+				if !ok {
+					return nil
+				}
+				s.runJob(id)
+			}
+		})
+	}()
+	return s
+}
+
+// next blocks until a queued job is available (returning its ID) or the
+// service closes (returning false).
+func (s *Service) next() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.closed {
+		s.wake.Wait()
+	}
+	if len(s.pending) == 0 {
+		return 0, false
+	}
+	id := s.pending[0]
+	s.pending = s.pending[1:]
+	return id, true
+}
+
+// Queue returns the configured admission-queue depth and worker count.
+func (s *Service) Queue() (depth, workers int) { return s.cfg.QueueDepth, s.cfg.Workers }
+
+// Submit validates the spec, assigns the next monotonic ID and enqueues the
+// job. It never blocks: when the admission queue is full the job is
+// rejected with ErrQueueFull (the HTTP layer's 429), preserving bounded
+// memory under overload. Cancelling a queued job frees its slot
+// immediately.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	// Compile the spec up front so malformed jobs fail at admission, not
+	// in a worker; the compilation is cached on the job so the worker
+	// never re-parses the formula.
+	built, err := spec.build()
+	if err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrClosed
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		return Job{}, ErrQueueFull
+	}
+	s.nextID++
+	job := &Job{
+		ID:          s.nextID,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+		built:       &built,
+	}
+	s.jobs[job.ID] = job
+	s.pending = append(s.pending, job.ID)
+	s.wake.Signal()
+	return *job, nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Service) Get(id int64) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of all jobs ordered by ID.
+func (s *Service) List() []Job {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Counts reports how many jobs sit in each state.
+func (s *Service) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// Cancel stops a job. A queued job transitions to cancelled immediately
+// and releases its admission-queue slot; a running job has its context
+// cancelled and transitions once the simulator observes the cancellation —
+// within one simulator.CancelSliceSteps slice. Cancelling a terminal job
+// returns ErrFinished.
+func (s *Service) Cancel(id int64) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.State {
+	case StateQueued:
+		for i, pid := range s.pending {
+			if pid == id {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, StateCancelled)
+	case StateRunning:
+		if cancel, ok := s.cancels[id]; ok {
+			cancel()
+		}
+	default:
+		return *j, ErrFinished
+	}
+	return *j, nil
+}
+
+// finishLocked moves a job to a terminal state, drops its cached build and
+// evicts the oldest terminal jobs beyond the History bound. Callers hold
+// s.mu.
+func (s *Service) finishLocked(j *Job, state State) {
+	j.State = state
+	j.FinishedAt = time.Now().UTC()
+	j.built = nil
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.History {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Close stops the service: no further submissions are accepted, queued jobs
+// are cancelled, running jobs are interrupted, and all workers are joined
+// before Close returns. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	for _, id := range s.pending {
+		if j, ok := s.jobs[id]; ok && j.State == StateQueued {
+			s.finishLocked(j, StateCancelled)
+		}
+	}
+	s.pending = nil
+	s.cancelRoot()
+	s.wake.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+}
+
+// runJob drives one dequeued job through its run.
+func (s *Service) runJob(id int64) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.State != StateQueued {
+		// Cancelled while queued (or cancelled by Close): nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.StartedAt = time.Now().UTC()
+	spec := j.Spec
+	built := j.built
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if d := spec.Deadline(); d > 0 {
+		ctx, cancel = context.WithDeadlineCause(s.root, time.Now().Add(d),
+			fmt.Errorf("service: job %d exceeded its %v deadline", id, d))
+	} else {
+		ctx, cancel = context.WithCancel(s.root)
+	}
+	s.cancels[id] = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	res, raw, runErr := execute(ctx, spec, built)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cancels, id)
+	switch {
+	case runErr == nil:
+		j.Result = res
+		j.raw = raw
+		s.finishLocked(j, StateDone)
+	case errors.Is(runErr, context.Canceled):
+		s.finishLocked(j, StateCancelled)
+	default:
+		// Machine errors and deadline expiry land here; the deadline
+		// cause set above names the budget.
+		j.Error = runErr.Error()
+		s.finishLocked(j, StateFailed)
+	}
+}
+
+// execute runs one admission-compiled spec under ctx, decoding the raw
+// result into the job's JSON payload.
+func execute(ctx context.Context, spec JobSpec, built *buildOut) (*JobResult, *core.Result, error) {
+	machine, err := core.New(built.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := machine.RunContext(ctx, built.arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &JobResult{
+		OK:              raw.OK,
+		ComputationTime: raw.ComputationTime,
+		Performance:     raw.Performance,
+		Stats:           raw.Stats,
+	}
+	if spec.RecordSeries {
+		res.Series = raw.QueuedSeries
+	}
+	if spec.Heatmap {
+		res.Heatmap = machine.NodeHeatmap(raw)
+	}
+	if raw.OK {
+		if out, isSAT := raw.Value.(sat.Outcome); isSAT {
+			sr := &SATResult{Status: out.Status.String()}
+			if out.Status == sat.SAT {
+				for v := 1; v <= built.formula.NumVars; v++ {
+					// Unassigned variables default to false, matching
+					// sat.Verify's reading of partial assignments.
+					lit := -v
+					if v < len(out.Assignment) && out.Assignment.Value(v) > 0 {
+						lit = v
+					}
+					sr.Assignment = append(sr.Assignment, lit)
+				}
+				sr.Verified = sat.Verify(*built.formula, out.Assignment)
+			}
+			res.SAT = sr
+		} else {
+			res.Value = raw.Value
+		}
+	}
+	return res, &raw, nil
+}
