@@ -1,6 +1,6 @@
 // Command bench runs the repository's fixed performance suite and writes a
 // machine-readable JSON report, giving successive PRs a comparable
-// performance trajectory. It measures four things:
+// performance trajectory. It measures five things:
 //
 //   - the raw layer-1 step loop (a message flood on a 32x32 torus),
 //   - one full five-layer SAT solve (the hot Figure 4 point: uf50-218 on the
@@ -8,12 +8,15 @@
 //   - the sweep engine's wall-clock speedup: the quick Figure 4 sweep run
 //     serially and again at -parallel workers, with a bit-identity check,
 //   - the solve service's throughput: 100 uf20 jobs pushed through the
-//     bounded admission queue (depth 64) into the worker pool, in jobs/sec.
+//     bounded admission queue (depth 64) into the worker pool, in jobs/sec,
+//   - the job store's transition throughput: submit→start→finish cycles
+//     per second on the memory backend, the journaling file backend, and
+//     the file backend with per-record fsync.
 //
 // Usage:
 //
-//	go run ./cmd/bench                     # writes BENCH_PR1.json
-//	go run ./cmd/bench -o BENCH_PR2.json   # next PR's trajectory point
+//	go run ./cmd/bench                     # writes BENCH_PR3.json
+//	go run ./cmd/bench -o BENCH_PR4.json   # next PR's trajectory point
 //	go run ./cmd/bench -parallel 4         # explicit sweep parallelism
 //
 // Compare two reports by diffing their "benchmarks" entries (ns_per_op,
@@ -37,6 +40,7 @@ import (
 	"hypersolve/internal/sat"
 	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
+	"hypersolve/internal/store"
 
 	hypersolve "hypersolve"
 )
@@ -67,6 +71,16 @@ type serviceEntry struct {
 	JobsPerSec float64 `json:"jobs_per_sec"`
 }
 
+// storeEntry is the job-store transition throughput for one backend: ops
+// are full submit→start→finish cycles (three journal records on the file
+// backends).
+type storeEntry struct {
+	Backend   string  `json:"backend"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
 type report struct {
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
@@ -74,11 +88,12 @@ type report struct {
 	Benchmarks []benchEntry `json:"benchmarks"`
 	Sweep      sweepEntry   `json:"sweep"`
 	Service    serviceEntry `json:"service"`
+	Store      []storeEntry `json:"store"`
 }
 
 func main() {
 	var (
-		out = flag.String("o", "BENCH_PR1.json", "output file")
+		out = flag.String("o", "BENCH_PR3.json", "output file")
 		par = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -110,6 +125,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Service = svcEntry
+	fmt.Fprintln(os.Stderr, "bench: job-store transition throughput (memory vs file vs file+fsync)...")
+	rep.Store, err = benchStore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -121,8 +142,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s)\n",
-		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec)
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync)\n",
+		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
+		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec)
 	fmt.Print(string(data))
 }
 
@@ -327,4 +349,73 @@ func benchService(workers int) (serviceEntry, error) {
 		Seconds:    elapsed.Seconds(),
 		JobsPerSec: float64(jobs) / elapsed.Seconds(),
 	}, nil
+}
+
+// benchStore measures raw job-store transition throughput — what the
+// durable backend costs relative to the in-memory map, with and without
+// per-record fsync. One op is a full submit→start→finish cycle with a
+// representative ~200-byte result payload; the fsync backend runs fewer
+// ops because each cycle forces three disk syncs.
+func benchStore() ([]storeEntry, error) {
+	spec, err := json.Marshal(hypersolve.JobSpec{Kind: "sum", N: 20, Topology: "ring:4", Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	result := json.RawMessage(`{"ok":true,"value":210,"computation_time":1201,"performance":0.17,` +
+		`"stats":{"steps":1201,"delivered":40,"sent":40,"dropped":0,"retransmits":0,"max_queue":1,"quiescent":true}}`)
+
+	run := func(st store.Store, ops int) (storeEntry, error) {
+		defer st.Close()
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			j, err := st.Submit(spec, time.Now().UTC())
+			if err != nil {
+				return storeEntry{}, err
+			}
+			if err := st.Start(j.ID, time.Now().UTC()); err != nil {
+				return storeEntry{}, err
+			}
+			if _, err := st.Finish(j.ID, store.StateDone, time.Now().UTC(), "", result); err != nil {
+				return storeEntry{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		return storeEntry{Ops: ops, Seconds: elapsed.Seconds(),
+			OpsPerSec: float64(ops) / elapsed.Seconds()}, nil
+	}
+
+	var out []storeEntry
+	e, err := run(store.NewMemory(0), 5000)
+	if err != nil {
+		return nil, err
+	}
+	e.Backend = "memory"
+	out = append(out, e)
+
+	for _, cfg := range []struct {
+		name  string
+		fsync bool
+		ops   int
+	}{
+		{"file", false, 5000},
+		{"file_fsync", true, 200},
+	} {
+		dir, err := os.MkdirTemp("", "hypersolve-bench-store")
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Open(store.FileConfig{Dir: dir, Fsync: cfg.fsync})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		e, err := run(st, cfg.ops)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		e.Backend = cfg.name
+		out = append(out, e)
+	}
+	return out, nil
 }

@@ -4,17 +4,24 @@
 //
 // Subcommands:
 //
-//	submit  submit a job; -cnf FILE submits a DIMACS formula end-to-end
+//	submit  submit a job; -cnf FILE submits a DIMACS formula end-to-end,
+//	        -spec FILE submits a raw JobSpec JSON document
 //	status  print one job (or all jobs with no argument)
-//	wait    poll a job until it reaches a terminal state
+//	list    list jobs, optionally filtered by state
+//	wait    poll a job until it reaches a terminal state (backoff to 2s)
 //	cancel  cancel a queued or running job
 //	health  print the server's liveness report
+//
+// Submissions bounced by a full queue (HTTP 429) are retried with jittered
+// exponential backoff, so batch drivers degrade gracefully under overload.
 //
 // Examples:
 //
 //	hyperctl submit -kind sat -cnf uf20.cnf -topo torus:14x14 -mapper lbn -wait
 //	hyperctl submit -kind queens -n 7
+//	hyperctl submit -spec job.json
 //	hyperctl status 3
+//	hyperctl list -state done,failed
 //	hyperctl wait 3 -timeout 60s
 //	hyperctl cancel 3
 package main
@@ -48,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|wait|cancel|health} [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health} [flags]\n")
 	flag.PrintDefaults()
 }
 
@@ -59,6 +66,8 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 		return submit(ctx, client, args)
 	case "status":
 		return status(ctx, client, args)
+	case "list":
+		return list(ctx, client, args)
 	case "wait":
 		return wait(ctx, client, args)
 	case "cancel":
@@ -70,7 +79,7 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 		}
 		return printJSON(h)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want submit|status|wait|cancel|health)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health)", cmd)
 	}
 }
 
@@ -80,6 +89,7 @@ func submit(ctx context.Context, client *service.Client, args []string) error {
 		kind      = fs.String("kind", "sat", "workload: sat, queens, knapsack, sum, fib, unbalanced")
 		n         = fs.Int("n", 0, "task parameter (see JobSpec.N)")
 		cnfPath   = fs.String("cnf", "", "DIMACS file to submit (kind sat)")
+		specPath  = fs.String("spec", "", "JobSpec JSON file to submit (replaces the other spec flags; -cnf still overrides its CNF field)")
 		heuristic = fs.String("heuristic", "", "sat branching heuristic: first, freq, jw, dlis")
 		topo      = fs.String("topo", "", "topology spec (default torus:14x14)")
 		mapper    = fs.String("mapper", "", "mapper spec (default rr)")
@@ -106,6 +116,16 @@ func submit(ctx context.Context, client *service.Client, args []string) error {
 		TimeoutMs:    timeout.Milliseconds(),
 		RecordSeries: *series,
 		Heatmap:      *heatmap,
+	}
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = service.JobSpec{}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
 	}
 	if *cnfPath != "" {
 		data, err := os.ReadFile(*cnfPath)
@@ -147,9 +167,36 @@ func status(ctx context.Context, client *service.Client, args []string) error {
 	return printJSON(job)
 }
 
+// list prints jobs, optionally filtered to a comma-separated set of states.
+func list(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	stateFlag := fs.String("state", "", "comma-separated state filter: queued,running,done,failed,cancelled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var states []service.State
+	for _, name := range strings.Split(*stateFlag, ",") {
+		if name == "" {
+			continue
+		}
+		st, err := service.ParseState(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+	}
+	jobs, err := client.List(ctx, states...)
+	if err != nil {
+		return err
+	}
+	return printJSON(jobs)
+}
+
 func wait(ctx context.Context, client *service.Client, args []string) error {
 	fs := flag.NewFlagSet("wait", flag.ExitOnError)
-	interval := fs.Duration("interval", 100*time.Millisecond, "poll interval")
+	poll := fs.Duration("poll", 100*time.Millisecond,
+		"initial poll interval; each poll backs off exponentially to a 2s cap")
+	fs.DurationVar(poll, "interval", 100*time.Millisecond, "deprecated alias for -poll")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	// Accept the id before the flags ("wait 3 -timeout 60s"), matching the
 	// other subcommands; stdlib flag parsing stops at the first positional
@@ -166,7 +213,7 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 		idArg = fs.Arg(0)
 	case idArg != "" && fs.NArg() == 0:
 	default:
-		return fmt.Errorf("usage: hyperctl wait <id> [-interval D] [-timeout D]")
+		return fmt.Errorf("usage: hyperctl wait <id> [-poll D] [-timeout D]")
 	}
 	id, err := parseID(idArg)
 	if err != nil {
@@ -177,7 +224,7 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	job, err := client.Wait(ctx, id, *interval)
+	job, err := client.Wait(ctx, id, *poll)
 	if err != nil {
 		return err
 	}

@@ -3,11 +3,12 @@
 // executes them on a pool of simulated hyperspace machines.
 //
 //	hypersolved -addr :8080 -queue 64 -workers 4
+//	hypersolved -addr :8080 -data-dir /var/lib/hypersolve   # durable job store
 //
 // API (see internal/service for the spec and payload shapes):
 //
 //	POST   /v1/jobs      submit a JobSpec  (429 when the queue is full)
-//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs      list jobs (?state=done,failed filters)
 //	GET    /v1/jobs/{id} job status + result
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness + queue occupancy
@@ -17,9 +18,18 @@
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"queens","n":6,"topology":"torus:8x8","mapper":"lbn"}'
 //	curl -s localhost:8080/v1/jobs/1
 //
+// With -data-dir, every job transition is journaled (internal/store): a
+// crashed or SIGKILLed daemon restarted on the same directory recovers all
+// terminal job history and re-runs whatever was queued or running —
+// spec+seed determinism makes the re-run bit-identical. -fsync trades
+// throughput for power-loss durability; -snapshot-every bounds journal
+// growth between compactions.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight HTTP requests finish, queued jobs are cancelled and running
-// solves are interrupted at the next cancellation slice.
+// solves are interrupted at the next cancellation slice. A graceful
+// shutdown is a deliberate drain — outstanding jobs are recorded as
+// cancelled; only a crash leaves them to be re-queued at next start.
 package main
 
 import (
@@ -34,23 +44,40 @@ import (
 	"time"
 
 	"hypersolve/internal/service"
+	"hypersolve/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		queue   = flag.Int("queue", 64, "admission queue depth (jobs beyond it are rejected with 429)")
-		workers = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		queue         = flag.Int("queue", 64, "admission queue depth (jobs beyond it are rejected with 429)")
+		workers       = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		dataDir       = flag.String("data-dir", "", "durable job store directory (empty = in-memory; history dies with the process)")
+		fsync         = flag.Bool("fsync", false, "fsync the journal after every record (survives power loss, much slower)")
+		snapshotEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery,
+			"journal records between snapshot compactions")
 	)
 	flag.Parse()
-	if err := run(*addr, *queue, *workers); err != nil {
+	if err := run(*addr, *queue, *workers, *dataDir, *fsync, *snapshotEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "hypersolved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, workers int) error {
-	svc := service.New(service.Config{QueueDepth: queue, Workers: workers})
+func run(addr string, queue, workers int, dataDir string, fsync bool, snapshotEvery int) error {
+	cfg := service.Config{QueueDepth: queue, Workers: workers}
+	if dataDir != "" {
+		st, err := store.Open(store.FileConfig{Dir: dataDir, Fsync: fsync, SnapshotEvery: snapshotEvery})
+		if err != nil {
+			return err
+		}
+		recovered := len(st.List())
+		requeued := len(st.List(store.StateQueued))
+		fmt.Fprintf(os.Stderr, "hypersolved: durable store at %s (fsync %v, snapshot every %d records); recovered %d jobs, %d re-queued\n",
+			dataDir, fsync, snapshotEvery, recovered, requeued)
+		cfg.Store = st
+	}
+	svc := service.New(cfg)
 	depth, pool := svc.Queue()
 
 	srv := &http.Server{

@@ -43,6 +43,7 @@ import (
 	"hypersolve/internal/sched"
 	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
+	"hypersolve/internal/store"
 )
 
 // ---------------------------------------------------------------------------
@@ -330,7 +331,8 @@ const (
 // cancellation and deadline enforcement.
 type SolveService = service.Service
 
-// SolveServiceConfig sizes a SolveService (queue depth, worker count).
+// SolveServiceConfig sizes a SolveService (queue depth, worker count) and
+// selects its persistence backend (Store; nil = in-memory).
 type SolveServiceConfig = service.Config
 
 // NewSolveService starts a solve service; Close stops it.
@@ -341,5 +343,29 @@ func NewSolveService(cfg SolveServiceConfig) *SolveService { return service.New(
 func NewSolveHandler(s *SolveService) http.Handler { return service.NewHandler(s) }
 
 // SolveClient is the Go client of a hypersolved server, as used by
-// cmd/hyperctl.
+// cmd/hyperctl. Submissions bounced by a full queue (HTTP 429) are retried
+// with jittered exponential backoff (see SubmitRetry / Client.Retry).
 type SolveClient = service.Client
+
+// SubmitRetry is SolveClient's backoff policy for queue-full rejections.
+type SubmitRetry = service.Retry
+
+// JobStore is the pluggable persistence backend of a SolveService: the
+// in-memory map, or the durable WAL-journal + snapshot file backend.
+type JobStore = store.Store
+
+// FileJobStoreConfig shapes a durable job store (data directory, retention,
+// fsync policy, snapshot compaction cadence).
+type FileJobStoreConfig = store.FileConfig
+
+// NewMemoryJobStore returns the in-process backend retaining at most
+// history terminal jobs (<= 0 = 4096). This is what a SolveService uses
+// when its config names no store.
+func NewMemoryJobStore(history int) JobStore { return store.NewMemory(history) }
+
+// OpenFileJobStore opens (or creates) the durable backend: every job
+// transition is appended to a JSONL write-ahead journal and periodically
+// compacted into a snapshot. A SolveService started on a recovered store
+// re-runs whatever the previous process left queued or running; spec+seed
+// determinism makes the re-run bit-identical.
+func OpenFileJobStore(cfg FileJobStoreConfig) (JobStore, error) { return store.Open(cfg) }

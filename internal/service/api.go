@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Health is the /healthz payload: a liveness verdict plus queue occupancy.
@@ -24,12 +25,15 @@ const maxSpecBytes = 64 << 20
 // NewHandler wraps a service in its HTTP JSON surface:
 //
 //	POST   /v1/jobs      submit a JobSpec  → 202 Job (429 when the queue is full)
-//	GET    /v1/jobs      list all jobs     → 200 []Job
+//	GET    /v1/jobs      list jobs         → 200 []Job; ?state= filters
 //	GET    /v1/jobs/{id} fetch one job     → 200 Job
 //	DELETE /v1/jobs/{id} cancel a job      → 200 Job (409 when already terminal)
 //	GET    /healthz      liveness + queue occupancy
 //
-// Errors are returned as {"error": "..."} with the matching status code.
+// The list filter accepts repeated and comma-separated values
+// (?state=done&state=failed, ?state=queued,running); an unknown state is a
+// 400. Errors are returned as {"error": "..."} with the matching status
+// code.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -55,7 +59,21 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusAccepted, job)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List())
+		var states []State
+		for _, raw := range r.URL.Query()["state"] {
+			for _, name := range strings.Split(raw, ",") {
+				if name == "" {
+					continue
+				}
+				st, err := ParseState(name)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, err)
+					return
+				}
+				states = append(states, st)
+			}
+		}
+		writeJSON(w, http.StatusOK, s.List(states...))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
@@ -104,6 +122,8 @@ func submitStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStore):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

@@ -79,6 +79,12 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if len(jobs) != 1 || jobs[0].ID != job.ID {
 		t.Fatalf("list = %+v, want exactly the submitted job", jobs)
 	}
+	if jobs, err = client.List(ctx, StateDone); err != nil || len(jobs) != 1 {
+		t.Fatalf("list ?state=done = %+v (%v), want the done job", jobs, err)
+	}
+	if jobs, err = client.List(ctx, StateQueued, StateRunning); err != nil || len(jobs) != 0 {
+		t.Fatalf("list ?state=queued,running = %+v (%v), want empty", jobs, err)
+	}
 	h, err := client.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -89,9 +95,12 @@ func TestHTTPEndToEnd(t *testing.T) {
 }
 
 // TestHTTPBackpressure checks the 429 contract: submissions beyond the
-// queue depth are rejected and recognisable via IsOverloaded.
+// queue depth are rejected and recognisable via IsOverloaded. Retrying is
+// disabled — the blocking job never finishes, so the default backoff would
+// only delay the guaranteed 429.
 func TestHTTPBackpressure(t *testing.T) {
 	_, client := newTestServer(t, Config{QueueDepth: 1, Workers: 1})
+	client.Retry = Retry{MaxAttempts: 1}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
@@ -168,6 +177,16 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if _, err := client.Submit(ctx, JobSpec{Kind: "nope"}); err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("bad spec: %v, want 400", err)
+	}
+
+	// An unknown state filter is a 400.
+	resp, err := srv.Client().Get(srv.URL + "/v1/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET ?state=bogus status = %d, want 400", resp.StatusCode)
 	}
 
 	// Malformed JSON and unknown fields are 400s.

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -19,6 +21,46 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry shapes Submit's backoff when the server rejects with 429
+	// (queue full). The zero value selects the defaults; set
+	// Retry.MaxAttempts to 1 to surface 429s immediately.
+	Retry Retry
+}
+
+// Retry is Submit's backoff policy for queue-full (HTTP 429) rejections:
+// capped exponential delays with full jitter, so a batch of clients bounced
+// by the same full queue does not re-converge on the same instant.
+type Retry struct {
+	// MaxAttempts caps total submission attempts, the first included.
+	// 0 selects the default 8; 1 (or less) disables retrying.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s). The actual sleep is drawn
+	// uniformly from [delay/2, delay].
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (r Retry) norm() (attempts int, base, max time.Duration) {
+	attempts = r.MaxAttempts
+	if attempts == 0 {
+		attempts = 8
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	base = r.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max = r.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return attempts, base, max
 }
 
 func (c *Client) http() *http.Client {
@@ -87,11 +129,38 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.Unmarshal(data, out)
 }
 
-// Submit enqueues a job and returns its accepted record.
+// Submit enqueues a job and returns its accepted record. Queue-full
+// rejections (HTTP 429) are retried with jittered exponential backoff per
+// the client's Retry policy; any other error — and a 429 that survives the
+// final attempt — is returned as-is. Cancelling ctx aborts the backoff.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (Job, error) {
-	var job Job
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &job)
-	return job, err
+	attempts, delay, maxDelay := c.Retry.norm()
+	for attempt := 1; ; attempt++ {
+		var job Job
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &job)
+		if err == nil || !IsOverloaded(err) || attempt >= attempts {
+			return job, err
+		}
+		if err := sleepCtx(ctx, delay/2+time.Duration(rand.Int64N(int64(delay/2)+1))); err != nil {
+			return Job{}, err
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is done, returning ctx's error in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Get fetches one job.
@@ -101,10 +170,19 @@ func (c *Client) Get(ctx context.Context, id int64) (Job, error) {
 	return job, err
 }
 
-// List fetches all jobs.
-func (c *Client) List(ctx context.Context) ([]Job, error) {
+// List fetches jobs, optionally filtered to the given states (no states =
+// all jobs).
+func (c *Client) List(ctx context.Context, states ...State) ([]Job, error) {
+	path := "/v1/jobs"
+	if len(states) > 0 {
+		q := url.Values{}
+		for _, st := range states {
+			q.Add("state", string(st))
+		}
+		path += "?" + q.Encode()
+	}
 	var jobs []Job
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jobs)
+	err := c.do(ctx, http.MethodGet, path, nil, &jobs)
 	return jobs, err
 }
 
@@ -122,14 +200,19 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return h, err
 }
 
-// Wait polls a job every interval (default 100ms) until it reaches a
-// terminal state or ctx expires, returning the final record.
-func (c *Client) Wait(ctx context.Context, id int64, interval time.Duration) (Job, error) {
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
+// waitMaxInterval caps Wait's backoff: however long a solve runs, the
+// client never polls less often than this.
+const waitMaxInterval = 2 * time.Second
+
+// Wait polls a job until it reaches a terminal state or ctx expires,
+// returning the final record. The poll interval starts at initial (default
+// 100ms) and backs off gently — ×1.5 per poll, capped at 2s (or at initial,
+// if larger) — so waiting on a long solve doesn't hammer the daemon.
+func (c *Client) Wait(ctx context.Context, id int64, initial time.Duration) (Job, error) {
+	if initial <= 0 {
+		initial = 100 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	interval := initial
 	for {
 		job, err := c.Get(ctx, id)
 		if err != nil {
@@ -138,10 +221,22 @@ func (c *Client) Wait(ctx context.Context, id int64, interval time.Duration) (Jo
 		if job.State.Terminal() {
 			return job, nil
 		}
-		select {
-		case <-ctx.Done():
-			return job, ctx.Err()
-		case <-ticker.C:
+		if err := sleepCtx(ctx, interval); err != nil {
+			return job, err
 		}
+		interval = nextPollInterval(interval, initial)
 	}
+}
+
+// nextPollInterval grows a poll interval ×1.5, capped at waitMaxInterval or
+// the initial interval, whichever is larger.
+func nextPollInterval(interval, initial time.Duration) time.Duration {
+	ceil := waitMaxInterval
+	if initial > ceil {
+		ceil = initial
+	}
+	if interval = interval * 3 / 2; interval > ceil {
+		interval = ceil
+	}
+	return interval
 }

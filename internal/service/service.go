@@ -2,10 +2,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -14,23 +14,24 @@ import (
 	"hypersolve/internal/parallel"
 	"hypersolve/internal/sat"
 	"hypersolve/internal/simulator"
+	"hypersolve/internal/store"
 )
 
-// State is a job's lifecycle stage.
-type State string
+// State is a job's lifecycle stage (defined by the persistence layer; the
+// service re-exports it so API consumers need only this package).
+type State = store.State
 
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateQueued    = store.StateQueued
+	StateRunning   = store.StateRunning
+	StateDone      = store.StateDone
+	StateFailed    = store.StateFailed
+	StateCancelled = store.StateCancelled
 )
 
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
+// ParseState validates a wire-format state name (used by the HTTP list
+// filter and hyperctl's -state flag).
+func ParseState(name string) (State, error) { return store.ParseState(name) }
 
 // SATResult is the SAT-specific slice of a job result: the verdict, the
 // witness assignment as DIMACS-style literals, and whether the service
@@ -48,7 +49,9 @@ type JobResult struct {
 	// OK is false when the run hit MaxSteps before the root completed.
 	OK bool `json:"ok"`
 	// Value is the root task's return value for the integer-valued kinds
-	// (sum, fib, queens, knapsack, unbalanced).
+	// (sum, fib, queens, knapsack, unbalanced). It round-trips through the
+	// store's JSON encoding, so in-process readers see float64 for numeric
+	// values, exactly as HTTP clients do.
 	Value any `json:"value,omitempty"`
 	// SAT carries the verdict for sat/dimacs jobs.
 	SAT *SATResult `json:"sat,omitempty"`
@@ -65,7 +68,8 @@ type JobResult struct {
 
 // Job is one tracked solve: the spec, its lifecycle state and timestamps,
 // and — once terminal — the result or failure reason. Jobs are plain value
-// records; the service hands out copies, never aliases into the store.
+// records decoded from the store; the service hands out copies, never
+// aliases.
 type Job struct {
 	ID    int64   `json:"id"`
 	Spec  JobSpec `json:"spec"`
@@ -79,24 +83,24 @@ type Job struct {
 	Result *JobResult `json:"result,omitempty"`
 
 	// raw preserves the undecoded core.Result for in-process callers (the
-	// determinism tests compare it bit-for-bit against a serial run).
+	// determinism tests compare it bit-for-bit against a serial run). It is
+	// not persisted: after a daemon restart Raw returns nil.
 	raw *core.Result
-	// built caches the admission-time compilation of Spec so the worker
-	// does not parse the formula or rebuild the config a second time; it
-	// is dropped once the job goes terminal.
-	built *buildOut
 }
 
-// Raw returns the undecoded core.Result of a done job (nil otherwise).
+// Raw returns the undecoded core.Result of a done job (nil otherwise, and
+// nil for jobs completed before a restart).
 func (j Job) Raw() *core.Result { return j.raw }
 
 // Sentinel errors of the admission and cancellation paths; the HTTP layer
-// maps them onto status codes (429, 404, 409, 503).
+// maps them onto status codes (429, 404, 409, 500, 503).
 var (
 	ErrQueueFull = errors.New("service: queue full")
 	ErrClosed    = errors.New("service: closed")
 	ErrNotFound  = errors.New("service: no such job")
 	ErrFinished  = errors.New("service: job already finished")
+	// ErrStore wraps persistence failures surfaced at admission.
+	ErrStore = errors.New("service: store failure")
 )
 
 // Config sizes the service.
@@ -107,29 +111,36 @@ type Config struct {
 	// Workers is the number of long-lived solve workers. Values <= 0
 	// default to runtime.GOMAXPROCS(0).
 	Workers int
-	// History bounds how many terminal jobs the store retains: once
-	// exceeded, the oldest-finished jobs are evicted (Get returns not
-	// found for them). Values <= 0 default to 4096, keeping a long-lived
-	// daemon's memory bounded.
+	// History bounds how many terminal jobs the default in-memory store
+	// retains (<= 0 defaults to 4096). Ignored when Store is set: a
+	// provided backend owns its own retention policy.
 	History int
+	// Store is the persistence backend. Nil selects a fresh in-memory
+	// store (history dies with the process); a store.File backend makes
+	// the service durable — on startup, jobs the previous process left
+	// queued or running are re-admitted and run again.
+	Store store.Store
 }
 
-// Service is a long-lived multi-tenant solve backend: an in-memory job
-// store with monotonic IDs, a bounded FIFO admission queue, and a worker
-// pool draining it. All methods are safe for concurrent use.
+// Service is a long-lived multi-tenant solve backend: a pluggable job
+// store, a bounded FIFO admission queue, and a worker pool draining it.
+// All methods are safe for concurrent use.
 type Service struct {
-	cfg Config
+	cfg   Config
+	store store.Store
 
 	mu      sync.Mutex
 	wake    *sync.Cond // signalled when pending grows or the service closes
-	jobs    map[int64]*Job
-	nextID  int64
-	pending []int64 // FIFO of queued job IDs; its length is the queue load
-	// finished lists terminal job IDs in completion order, driving
-	// History eviction.
-	finished []int64
-	cancels  map[int64]context.CancelFunc
-	closed   bool
+	pending []int64    // FIFO of queued job IDs; its length is the queue load
+	// builds caches each queued job's admission-time compilation so the
+	// worker does not parse the formula or rebuild the config a second
+	// time; entries are dropped when the job goes terminal.
+	builds map[int64]*buildOut
+	// raws keeps the undecoded core.Result of done jobs for in-process
+	// callers (Job.Raw); never persisted.
+	raws    map[int64]*core.Result
+	cancels map[int64]context.CancelFunc
+	closed  bool
 
 	// root is the ancestor context of every job run; Close cancels it so
 	// in-flight solves stop within one cancellation slice.
@@ -138,7 +149,11 @@ type Service struct {
 	done       chan struct{}
 }
 
-// New starts a service: its workers run until Close.
+// New starts a service: its workers run until Close. When cfg.Store is a
+// durable backend, jobs recovered in the queued state (including jobs that
+// were running when the previous process died — the store's replay
+// normalises those back to queued) are recompiled and re-enqueued in ID
+// order before the workers start.
 func New(cfg Config) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -149,14 +164,21 @@ func New(cfg Config) *Service {
 	if cfg.History <= 0 {
 		cfg.History = 4096
 	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory(cfg.History)
+	}
 	s := &Service{
 		cfg:     cfg,
-		jobs:    make(map[int64]*Job),
+		store:   st,
+		builds:  make(map[int64]*buildOut),
+		raws:    make(map[int64]*core.Result),
 		cancels: make(map[int64]context.CancelFunc),
 		done:    make(chan struct{}),
 	}
 	s.wake = sync.NewCond(&s.mu)
 	s.root, s.cancelRoot = context.WithCancel(context.Background())
+	s.recover()
 	go func() {
 		defer close(s.done)
 		// The pool is the sweep engine's primitive pointed at an unbounded
@@ -173,6 +195,29 @@ func New(cfg Config) *Service {
 		})
 	}()
 	return s
+}
+
+// recover re-admits every job the store reports as queued. Specs were
+// validated at original admission; one that no longer compiles (version
+// skew in the spec format, say) is failed rather than wedging the queue.
+// Re-running is safe: spec+seed determinism makes the re-run bit-identical
+// to what the lost run would have produced.
+func (s *Service) recover() {
+	for _, sj := range s.store.List(store.StateQueued) {
+		var spec JobSpec
+		err := json.Unmarshal(sj.Spec, &spec)
+		var built buildOut
+		if err == nil {
+			built, err = spec.build()
+		}
+		if err != nil {
+			_, _ = s.store.Finish(sj.ID, StateFailed, time.Now().UTC(),
+				fmt.Sprintf("recovery: %v", err), nil)
+			continue
+		}
+		s.builds[sj.ID] = &built
+		s.pending = append(s.pending, sj.ID)
+	}
 }
 
 // next blocks until a queued job is available (returning its ID) or the
@@ -194,16 +239,19 @@ func (s *Service) next() (int64, bool) {
 // Queue returns the configured admission-queue depth and worker count.
 func (s *Service) Queue() (depth, workers int) { return s.cfg.QueueDepth, s.cfg.Workers }
 
-// Submit validates the spec, assigns the next monotonic ID and enqueues the
-// job. It never blocks: when the admission queue is full the job is
-// rejected with ErrQueueFull (the HTTP layer's 429), preserving bounded
-// memory under overload. Cancelling a queued job frees its slot
-// immediately.
+// Submit validates the spec, persists the submission and enqueues the job.
+// It never blocks: when the admission queue is full the job is rejected
+// with ErrQueueFull (the HTTP layer's 429), preserving bounded memory under
+// overload. Cancelling a queued job frees its slot immediately.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
 	// Compile the spec up front so malformed jobs fail at admission, not
-	// in a worker; the compilation is cached on the job so the worker
+	// in a worker; the compilation is cached on the service so the worker
 	// never re-parses the formula.
 	built, err := spec.build()
+	if err != nil {
+		return Job{}, err
+	}
+	raw, err := json.Marshal(spec)
 	if err != nil {
 		return Job{}, err
 	}
@@ -215,49 +263,66 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	if len(s.pending) >= s.cfg.QueueDepth {
 		return Job{}, ErrQueueFull
 	}
-	s.nextID++
-	job := &Job{
-		ID:          s.nextID,
-		Spec:        spec,
-		State:       StateQueued,
-		SubmittedAt: time.Now().UTC(),
-		built:       &built,
+	sj, err := s.store.Submit(raw, time.Now().UTC())
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
-	s.jobs[job.ID] = job
-	s.pending = append(s.pending, job.ID)
+	s.builds[sj.ID] = &built
+	s.pending = append(s.pending, sj.ID)
 	s.wake.Signal()
-	return *job, nil
+	return s.jobFromStore(sj), nil
+}
+
+// jobFromStore decodes a persisted record into the API shape, attaching the
+// in-process raw result when one exists. Callers hold s.mu.
+func (s *Service) jobFromStore(sj store.Job) Job {
+	j := Job{
+		ID:          sj.ID,
+		State:       sj.State,
+		SubmittedAt: sj.SubmittedAt,
+		StartedAt:   sj.StartedAt,
+		FinishedAt:  sj.FinishedAt,
+		Error:       sj.Error,
+		raw:         s.raws[sj.ID],
+	}
+	// The spec bytes were produced by Submit's json.Marshal (or validated
+	// at recovery); decoding cannot fail.
+	_ = json.Unmarshal(sj.Spec, &j.Spec)
+	if len(sj.Result) > 0 {
+		j.Result = new(JobResult)
+		_ = json.Unmarshal(sj.Result, j.Result)
+	}
+	return j
 }
 
 // Get returns a snapshot of one job.
 func (s *Service) Get(id int64) (Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	sj, ok := s.store.Get(id)
 	if !ok {
 		return Job{}, false
 	}
-	return *j, true
+	return s.jobFromStore(sj), true
 }
 
-// List returns snapshots of all jobs ordered by ID.
-func (s *Service) List() []Job {
+// List returns snapshots ordered by ID, optionally filtered to the given
+// states (no states = all jobs).
+func (s *Service) List(states ...State) []Job {
 	s.mu.Lock()
-	out := make([]Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, *j)
+	defer s.mu.Unlock()
+	recs := s.store.List(states...)
+	out := make([]Job, 0, len(recs))
+	for _, sj := range recs {
+		out = append(out, s.jobFromStore(sj))
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
 
 // Counts reports how many jobs sit in each state.
 func (s *Service) Counts() map[State]int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[State]int)
-	for _, j := range s.jobs {
+	for _, j := range s.store.List() {
 		out[j.State]++
 	}
 	return out
@@ -271,11 +336,11 @@ func (s *Service) Counts() map[State]int {
 func (s *Service) Cancel(id int64) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	sj, ok := s.store.Get(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
-	switch j.State {
+	switch sj.State {
 	case StateQueued:
 		for i, pid := range s.pending {
 			if pid == id {
@@ -283,34 +348,44 @@ func (s *Service) Cancel(id int64) (Job, error) {
 				break
 			}
 		}
-		s.finishLocked(j, StateCancelled)
+		s.finishLocked(id, StateCancelled, "", nil)
+		sj, _ = s.store.Get(id)
 	case StateRunning:
 		if cancel, ok := s.cancels[id]; ok {
 			cancel()
 		}
 	default:
-		return *j, ErrFinished
+		return s.jobFromStore(sj), ErrFinished
 	}
-	return *j, nil
+	return s.jobFromStore(sj), nil
 }
 
-// finishLocked moves a job to a terminal state, drops its cached build and
-// evicts the oldest terminal jobs beyond the History bound. Callers hold
-// s.mu.
-func (s *Service) finishLocked(j *Job, state State) {
-	j.State = state
-	j.FinishedAt = time.Now().UTC()
-	j.built = nil
-	s.finished = append(s.finished, j.ID)
-	for len(s.finished) > s.cfg.History {
-		delete(s.jobs, s.finished[0])
-		s.finished = s.finished[1:]
+// finishLocked records a terminal transition in the store, drops the job's
+// cached build, and clears service-side caches for any records the store
+// evicted beyond its retention bound. Callers hold s.mu.
+func (s *Service) finishLocked(id int64, state State, errMsg string, result *JobResult) {
+	var raw json.RawMessage
+	if result != nil {
+		raw, _ = json.Marshal(result)
+	}
+	// A journal write error here degrades durability, not correctness: the
+	// store's in-memory view already reflects the transition and stays
+	// authoritative for this process.
+	evicted, _ := s.store.Finish(id, state, time.Now().UTC(), errMsg, raw)
+	delete(s.builds, id)
+	for _, eid := range evicted {
+		delete(s.raws, eid)
+		delete(s.builds, eid)
 	}
 }
 
 // Close stops the service: no further submissions are accepted, queued jobs
-// are cancelled, running jobs are interrupted, and all workers are joined
-// before Close returns. Close is idempotent.
+// are cancelled, running jobs are interrupted, all workers are joined and
+// the store is closed before Close returns. Close is idempotent.
+//
+// Note the durability contract: Close is a deliberate drain, so outstanding
+// jobs are recorded as cancelled. A crash (SIGKILL, power loss) records
+// nothing — those jobs come back queued on the next start and run again.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -320,8 +395,8 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	for _, id := range s.pending {
-		if j, ok := s.jobs[id]; ok && j.State == StateQueued {
-			s.finishLocked(j, StateCancelled)
+		if sj, ok := s.store.Get(id); ok && sj.State == StateQueued {
+			s.finishLocked(id, StateCancelled, "", nil)
 		}
 	}
 	s.pending = nil
@@ -329,21 +404,35 @@ func (s *Service) Close() {
 	s.wake.Broadcast()
 	s.mu.Unlock()
 	<-s.done
+	_ = s.store.Close()
 }
 
 // runJob drives one dequeued job through its run.
 func (s *Service) runJob(id int64) {
 	s.mu.Lock()
-	j, ok := s.jobs[id]
-	if !ok || j.State != StateQueued {
+	sj, ok := s.store.Get(id)
+	if !ok || sj.State != StateQueued {
 		// Cancelled while queued (or cancelled by Close): nothing to run.
 		s.mu.Unlock()
 		return
 	}
-	j.State = StateRunning
-	j.StartedAt = time.Now().UTC()
-	spec := j.Spec
-	built := j.built
+	var spec JobSpec
+	_ = json.Unmarshal(sj.Spec, &spec)
+	built := s.builds[id]
+	if built == nil {
+		// Unreachable in practice: Submit and recover cache a build for
+		// every queued job. Rebuild defensively rather than wedging.
+		b, err := spec.build()
+		if err != nil {
+			s.finishLocked(id, StateFailed, err.Error(), nil)
+			s.mu.Unlock()
+			return
+		}
+		built = &b
+	}
+	// The queued check above ran under this same lock, so Start can only
+	// fail on a journal write, which degrades durability, not correctness.
+	_ = s.store.Start(id, time.Now().UTC())
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if d := spec.Deadline(); d > 0 {
@@ -363,16 +452,14 @@ func (s *Service) runJob(id int64) {
 	delete(s.cancels, id)
 	switch {
 	case runErr == nil:
-		j.Result = res
-		j.raw = raw
-		s.finishLocked(j, StateDone)
+		s.raws[id] = raw
+		s.finishLocked(id, StateDone, "", res)
 	case errors.Is(runErr, context.Canceled):
-		s.finishLocked(j, StateCancelled)
+		s.finishLocked(id, StateCancelled, "", nil)
 	default:
 		// Machine errors and deadline expiry land here; the deadline
 		// cause set above names the budget.
-		j.Error = runErr.Error()
-		s.finishLocked(j, StateFailed)
+		s.finishLocked(id, StateFailed, runErr.Error(), nil)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"hypersolve/internal/core"
 	"hypersolve/internal/sat"
+	"hypersolve/internal/store"
 )
 
 // slowSpec is a job that runs for several seconds if never cancelled: a
@@ -27,6 +28,30 @@ func slowSpec() JobSpec {
 // quickSpec is a job that solves in milliseconds.
 func quickSpec() JobSpec {
 	return JobSpec{Kind: "sum", N: 20, Topology: "ring:4", Seed: 3}
+}
+
+// backends runs fn against a service on each Store backend, pinning the
+// acceptance contract that the service behaves identically through the
+// shared Store interface. The file backend gets a fresh directory per
+// subtest; Close is idempotent, so tests that close explicitly still
+// compose with the deferred cleanup.
+func backends(t *testing.T, cfg Config, fn func(t *testing.T, s *Service)) {
+	t.Run("memory", func(t *testing.T) {
+		s := New(cfg)
+		defer s.Close()
+		fn(t, s)
+	})
+	t.Run("file", func(t *testing.T) {
+		st, err := store.Open(store.FileConfig{Dir: t.TempDir(), History: cfg.History})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.Store = st
+		s := New(c)
+		defer s.Close()
+		fn(t, s)
+	})
 }
 
 func waitState(t *testing.T, s *Service, id int64, want State, timeout time.Duration) Job {
@@ -51,202 +76,201 @@ func waitState(t *testing.T, s *Service, id int64, want State, timeout time.Dura
 }
 
 func TestSubmitRunsToDone(t *testing.T) {
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	defer s.Close()
-	job, err := s.Submit(quickSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if job.ID != 1 || job.State != StateQueued {
-		t.Fatalf("submitted job = %+v, want ID 1 queued", job)
-	}
-	done := waitState(t, s, job.ID, StateDone, 10*time.Second)
-	if done.Result == nil || !done.Result.OK {
-		t.Fatalf("result = %+v, want OK", done.Result)
-	}
-	if got := done.Result.Value; got != float64(210) && got != 210 {
-		// The in-process store holds the typed value; over JSON it would
-		// arrive as float64. Either reading must equal sum(20) = 210.
-		t.Fatalf("value = %v (%T), want 210", got, got)
-	}
-}
-
-func TestMonotonicIDs(t *testing.T) {
-	s := New(Config{QueueDepth: 8, Workers: 1})
-	defer s.Close()
-	for want := int64(1); want <= 3; want++ {
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
 		job, err := s.Submit(quickSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if job.ID != want {
-			t.Fatalf("job ID = %d, want %d", job.ID, want)
+		if job.ID != 1 || job.State != StateQueued {
+			t.Fatalf("submitted job = %+v, want ID 1 queued", job)
 		}
-	}
+		done := waitState(t, s, job.ID, StateDone, 10*time.Second)
+		if done.Result == nil || !done.Result.OK {
+			t.Fatalf("result = %+v, want OK", done.Result)
+		}
+		if got := done.Result.Value; got != float64(210) && got != 210 {
+			// Results round-trip through the store's JSON encoding, so the
+			// value arrives as float64 in-process just as it would over
+			// HTTP. Either reading must equal sum(20) = 210.
+			t.Fatalf("value = %v (%T), want 210", got, got)
+		}
+	})
+}
+
+func TestMonotonicIDs(t *testing.T) {
+	backends(t, Config{QueueDepth: 8, Workers: 1}, func(t *testing.T, s *Service) {
+		for want := int64(1); want <= 3; want++ {
+			job, err := s.Submit(quickSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if job.ID != want {
+				t.Fatalf("job ID = %d, want %d", job.ID, want)
+			}
+		}
+	})
 }
 
 func TestSubmitRejectsBadSpec(t *testing.T) {
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	defer s.Close()
-	cases := []JobSpec{
-		{Kind: "warp-drive"},
-		{Kind: "sat", CNF: "p cnf 2 1\n1 -"},
-		{Kind: "sat", Topology: "moebius:3"},
-		{Kind: "sat", Mapper: "psychic"},
-		{Kind: "queens"}, // missing n
-		{Kind: "sat", Link: LinkSpec{QueueModel: "quantum"}},
-	}
-	for _, spec := range cases {
-		if _, err := s.Submit(spec); err == nil {
-			t.Errorf("Submit(%+v) accepted, want error", spec)
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
+		cases := []JobSpec{
+			{Kind: "warp-drive"},
+			{Kind: "sat", CNF: "p cnf 2 1\n1 -"},
+			{Kind: "sat", Topology: "moebius:3"},
+			{Kind: "sat", Mapper: "psychic"},
+			{Kind: "queens"}, // missing n
+			{Kind: "sat", Link: LinkSpec{QueueModel: "quantum"}},
 		}
-	}
-	if jobs := s.List(); len(jobs) != 0 {
-		t.Fatalf("rejected specs left %d jobs in the store", len(jobs))
-	}
+		for _, spec := range cases {
+			if _, err := s.Submit(spec); err == nil {
+				t.Errorf("Submit(%+v) accepted, want error", spec)
+			}
+		}
+		if jobs := s.List(); len(jobs) != 0 {
+			t.Fatalf("rejected specs left %d jobs in the store", len(jobs))
+		}
+	})
 }
 
 // TestQueueBackpressure fills the admission queue behind a slow job and
 // checks that the next submission is rejected with ErrQueueFull rather than
 // blocking or growing memory.
 func TestQueueBackpressure(t *testing.T) {
-	s := New(Config{QueueDepth: 2, Workers: 1})
-	defer s.Close()
-
-	slow, err := s.Submit(slowSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateRunning, 10*time.Second)
-
-	// The worker is occupied: the next QueueDepth submissions park in the
-	// queue, and one more must bounce.
-	for i := 0; i < 2; i++ {
-		if _, err := s.Submit(quickSpec()); err != nil {
-			t.Fatalf("fill submission %d: %v", i, err)
-		}
-	}
-	if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("over-depth submission returned %v, want ErrQueueFull", err)
-	}
-
-	// Cancelling the slow job frees the worker; the parked jobs drain and
-	// admission opens again.
-	if _, err := s.Cancel(slow.ID); err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if _, err := s.Submit(quickSpec()); err == nil {
-			break
-		} else if !errors.Is(err, ErrQueueFull) {
+	backends(t, Config{QueueDepth: 2, Workers: 1}, func(t *testing.T, s *Service) {
+		slow, err := s.Submit(slowSpec())
+		if err != nil {
 			t.Fatal(err)
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("queue never drained after cancelling the blocking job")
+		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+
+		// The worker is occupied: the next QueueDepth submissions park in the
+		// queue, and one more must bounce.
+		for i := 0; i < 2; i++ {
+			if _, err := s.Submit(quickSpec()); err != nil {
+				t.Fatalf("fill submission %d: %v", i, err)
+			}
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("over-depth submission returned %v, want ErrQueueFull", err)
+		}
+
+		// Cancelling the slow job frees the worker; the parked jobs drain and
+		// admission opens again.
+		if _, err := s.Cancel(slow.ID); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := s.Submit(quickSpec()); err == nil {
+				break
+			} else if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("queue never drained after cancelling the blocking job")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
 }
 
 func TestCancelWhileQueued(t *testing.T) {
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	defer s.Close()
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
+		slow, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		queued, err := s.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	slow, err := s.Submit(slowSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateRunning, 10*time.Second)
-	queued, err := s.Submit(quickSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
+		// Cancel the parked job: the transition is immediate, no worker runs it.
+		got, err := s.Cancel(queued.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != StateCancelled {
+			t.Fatalf("cancel-while-queued state = %s, want cancelled", got.State)
+		}
+		if _, err := s.Cancel(queued.ID); !errors.Is(err, ErrFinished) {
+			t.Fatalf("double cancel returned %v, want ErrFinished", err)
+		}
 
-	// Cancel the parked job: the transition is immediate, no worker runs it.
-	got, err := s.Cancel(queued.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.State != StateCancelled {
-		t.Fatalf("cancel-while-queued state = %s, want cancelled", got.State)
-	}
-	if _, err := s.Cancel(queued.ID); !errors.Is(err, ErrFinished) {
-		t.Fatalf("double cancel returned %v, want ErrFinished", err)
-	}
-
-	// Unblock the worker and check the cancelled job never ran.
-	if _, err := s.Cancel(slow.ID); err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
-	j, _ := s.Get(queued.ID)
-	if j.State != StateCancelled || j.Result != nil {
-		t.Fatalf("cancelled-while-queued job = %+v, want cancelled with no result", j)
-	}
+		// Unblock the worker and check the cancelled job never ran.
+		if _, err := s.Cancel(slow.ID); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
+		j, _ := s.Get(queued.ID)
+		if j.State != StateCancelled || j.Result != nil {
+			t.Fatalf("cancelled-while-queued job = %+v, want cancelled with no result", j)
+		}
+	})
 }
 
 func TestCancelWhileRunning(t *testing.T) {
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	defer s.Close()
-
-	job, err := s.Submit(slowSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, job.ID, StateRunning, 10*time.Second)
-	if _, err := s.Cancel(job.ID); err != nil {
-		t.Fatal(err)
-	}
-	// The simulator polls its context every CancelSliceSteps; at ~10M
-	// steps/second one slice is far below a millisecond, so seconds of
-	// grace means any failure here is a lost cancellation, not jitter.
-	got := waitState(t, s, job.ID, StateCancelled, 10*time.Second)
-	if got.Result != nil {
-		t.Fatalf("cancelled job carries a result: %+v", got.Result)
-	}
-	if got.FinishedAt.IsZero() {
-		t.Fatal("cancelled job has no FinishedAt")
-	}
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
+		job, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, job.ID, StateRunning, 10*time.Second)
+		if _, err := s.Cancel(job.ID); err != nil {
+			t.Fatal(err)
+		}
+		// The simulator polls its context every CancelSliceSteps; at ~10M
+		// steps/second one slice is far below a millisecond, so seconds of
+		// grace means any failure here is a lost cancellation, not jitter.
+		got := waitState(t, s, job.ID, StateCancelled, 10*time.Second)
+		if got.Result != nil {
+			t.Fatalf("cancelled job carries a result: %+v", got.Result)
+		}
+		if got.FinishedAt.IsZero() {
+			t.Fatal("cancelled job has no FinishedAt")
+		}
+	})
 }
 
 func TestDeadlineFailsJob(t *testing.T) {
 	spec := slowSpec()
 	spec.TimeoutMs = 50
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	defer s.Close()
-	job, err := s.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := waitState(t, s, job.ID, StateFailed, 10*time.Second)
-	if !strings.Contains(got.Error, "deadline") {
-		t.Fatalf("deadline failure error = %q, want mention of the deadline", got.Error)
-	}
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := waitState(t, s, job.ID, StateFailed, 10*time.Second)
+		if !strings.Contains(got.Error, "deadline") {
+			t.Fatalf("deadline failure error = %q, want mention of the deadline", got.Error)
+		}
+	})
 }
 
 func TestCloseCancelsOutstanding(t *testing.T) {
-	s := New(Config{QueueDepth: 4, Workers: 1})
-	slow, err := s.Submit(slowSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateRunning, 10*time.Second)
-	queued, err := s.Submit(quickSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s.Close() // joins workers: both jobs must be terminal afterwards
-	for _, id := range []int64{slow.ID, queued.ID} {
-		j, _ := s.Get(id)
-		if j.State != StateCancelled {
-			t.Errorf("job %d after Close: %s, want cancelled", id, j.State)
+	backends(t, Config{QueueDepth: 4, Workers: 1}, func(t *testing.T, s *Service) {
+		slow, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrClosed) {
-		t.Fatalf("submit after Close returned %v, want ErrClosed", err)
-	}
+		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		queued, err := s.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close() // joins workers: both jobs must be terminal afterwards
+		for _, id := range []int64{slow.ID, queued.ID} {
+			j, _ := s.Get(id)
+			if j.State != StateCancelled {
+				t.Errorf("job %d after Close: %s, want cancelled", id, j.State)
+			}
+		}
+		if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrClosed) {
+			t.Fatalf("submit after Close returned %v, want ErrClosed", err)
+		}
+	})
 }
 
 // TestServiceMatchesSerialRun is the determinism acceptance check: a job
@@ -282,114 +306,148 @@ func TestServiceMatchesSerialRun(t *testing.T) {
 		return res
 	}()
 
-	s := New(Config{QueueDepth: 4, Workers: 2})
-	defer s.Close()
-	job, err := s.Submit(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	done := waitState(t, s, job.ID, StateDone, 30*time.Second)
-	if done.Raw() == nil {
-		t.Fatal("done job has no raw result")
-	}
-	if !reflect.DeepEqual(*done.Raw(), serial) {
-		t.Fatalf("service result differs from serial run:\nservice: %+v\nserial:  %+v", *done.Raw(), serial)
-	}
-	if done.Result.SAT == nil || done.Result.SAT.Status != "SAT" || !done.Result.SAT.Verified {
-		t.Fatalf("SAT payload = %+v, want verified SAT", done.Result.SAT)
-	}
-
-	// The serialized assignment must satisfy the formula on its own.
-	a := sat.NewAssignment(suite[0].NumVars)
-	for _, lit := range done.Result.SAT.Assignment {
-		a.Set(sat.Lit(lit))
-	}
-	if !sat.Verify(suite[0], a) {
-		t.Fatal("JSON assignment does not satisfy the formula")
-	}
-}
-
-func TestConcurrentJobsAllComplete(t *testing.T) {
-	s := New(Config{QueueDepth: 32, Workers: 4})
-	defer s.Close()
-	var ids []int64
-	for i := 0; i < 12; i++ {
-		spec := quickSpec()
-		spec.Seed = int64(i)
+	backends(t, Config{QueueDepth: 4, Workers: 2}, func(t *testing.T, s *Service) {
 		job, err := s.Submit(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids = append(ids, job.ID)
-	}
-	for _, id := range ids {
-		j := waitState(t, s, id, StateDone, 30*time.Second)
-		if j.Result == nil || !j.Result.OK {
-			t.Fatalf("job %d result = %+v, want OK", id, j.Result)
+		done := waitState(t, s, job.ID, StateDone, 30*time.Second)
+		if done.Raw() == nil {
+			t.Fatal("done job has no raw result")
 		}
-	}
-	if counts := s.Counts(); counts[StateDone] != 12 {
-		t.Fatalf("counts = %v, want 12 done", counts)
-	}
+		if !reflect.DeepEqual(*done.Raw(), serial) {
+			t.Fatalf("service result differs from serial run:\nservice: %+v\nserial:  %+v", *done.Raw(), serial)
+		}
+		if done.Result.SAT == nil || done.Result.SAT.Status != "SAT" || !done.Result.SAT.Verified {
+			t.Fatalf("SAT payload = %+v, want verified SAT", done.Result.SAT)
+		}
+
+		// The serialized assignment must satisfy the formula on its own.
+		a := sat.NewAssignment(suite[0].NumVars)
+		for _, lit := range done.Result.SAT.Assignment {
+			a.Set(sat.Lit(lit))
+		}
+		if !sat.Verify(suite[0], a) {
+			t.Fatal("JSON assignment does not satisfy the formula")
+		}
+	})
+}
+
+func TestConcurrentJobsAllComplete(t *testing.T) {
+	backends(t, Config{QueueDepth: 32, Workers: 4}, func(t *testing.T, s *Service) {
+		var ids []int64
+		for i := 0; i < 12; i++ {
+			spec := quickSpec()
+			spec.Seed = int64(i)
+			job, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, job.ID)
+		}
+		for _, id := range ids {
+			j := waitState(t, s, id, StateDone, 30*time.Second)
+			if j.Result == nil || !j.Result.OK {
+				t.Fatalf("job %d result = %+v, want OK", id, j.Result)
+			}
+		}
+		if counts := s.Counts(); counts[StateDone] != 12 {
+			t.Fatalf("counts = %v, want 12 done", counts)
+		}
+	})
 }
 
 // TestCancelQueuedFreesSlot pins the admission contract: cancelling a
 // queued job releases its queue slot immediately, without waiting for a
 // worker to reach it.
 func TestCancelQueuedFreesSlot(t *testing.T) {
-	s := New(Config{QueueDepth: 1, Workers: 1})
-	defer s.Close()
-
-	slow, err := s.Submit(slowSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	waitState(t, s, slow.ID, StateRunning, 10*time.Second)
-	parked, err := s.Submit(quickSpec())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("queue should be full, got %v", err)
-	}
-	if _, err := s.Cancel(parked.ID); err != nil {
-		t.Fatal(err)
-	}
-	// The slot is free right now — no worker progress was needed.
-	if _, err := s.Submit(quickSpec()); err != nil {
-		t.Fatalf("submit after cancelling the queued job: %v", err)
-	}
-	if _, err := s.Cancel(slow.ID); err != nil {
-		t.Fatal(err)
-	}
+	backends(t, Config{QueueDepth: 1, Workers: 1}, func(t *testing.T, s *Service) {
+		slow, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		parked, err := s.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("queue should be full, got %v", err)
+		}
+		if _, err := s.Cancel(parked.ID); err != nil {
+			t.Fatal(err)
+		}
+		// The slot is free right now — no worker progress was needed.
+		if _, err := s.Submit(quickSpec()); err != nil {
+			t.Fatalf("submit after cancelling the queued job: %v", err)
+		}
+		if _, err := s.Cancel(slow.ID); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestHistoryEviction checks that terminal jobs beyond the History bound
 // are evicted oldest-first while queued/running jobs are untouched.
 func TestHistoryEviction(t *testing.T) {
-	s := New(Config{QueueDepth: 8, Workers: 1, History: 2})
-	defer s.Close()
-	var ids []int64
-	for i := 0; i < 4; i++ {
-		job, err := s.Submit(quickSpec())
+	backends(t, Config{QueueDepth: 8, Workers: 1, History: 2}, func(t *testing.T, s *Service) {
+		var ids []int64
+		for i := 0; i < 4; i++ {
+			job, err := s.Submit(quickSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, job.ID)
+			waitState(t, s, job.ID, StateDone, 10*time.Second)
+		}
+		for _, id := range ids[:2] {
+			if _, ok := s.Get(id); ok {
+				t.Errorf("job %d should have been evicted", id)
+			}
+		}
+		for _, id := range ids[2:] {
+			j, ok := s.Get(id)
+			if !ok || j.State != StateDone {
+				t.Errorf("job %d missing or not done after eviction", id)
+			}
+		}
+		if n := len(s.List()); n != 2 {
+			t.Errorf("store holds %d jobs, want 2", n)
+		}
+	})
+}
+
+// TestListStateFilter pins the filtered listing added for recovered
+// history: done and cancelled jobs are separable without client-side
+// filtering.
+func TestListStateFilter(t *testing.T) {
+	backends(t, Config{QueueDepth: 8, Workers: 1}, func(t *testing.T, s *Service) {
+		done, err := s.Submit(quickSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids = append(ids, job.ID)
-		waitState(t, s, job.ID, StateDone, 10*time.Second)
-	}
-	for _, id := range ids[:2] {
-		if _, ok := s.Get(id); ok {
-			t.Errorf("job %d should have been evicted", id)
+		waitState(t, s, done.ID, StateDone, 10*time.Second)
+		slow, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	for _, id := range ids[2:] {
-		j, ok := s.Get(id)
-		if !ok || j.State != StateDone {
-			t.Errorf("job %d missing or not done after eviction", id)
+		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		if _, err := s.Cancel(slow.ID); err != nil {
+			t.Fatal(err)
 		}
-	}
-	if n := len(s.List()); n != 2 {
-		t.Errorf("store holds %d jobs, want 2", n)
-	}
+		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
+
+		if got := s.List(StateDone); len(got) != 1 || got[0].ID != done.ID {
+			t.Fatalf("List(done) = %+v, want exactly job %d", got, done.ID)
+		}
+		if got := s.List(StateCancelled); len(got) != 1 || got[0].ID != slow.ID {
+			t.Fatalf("List(cancelled) = %+v, want exactly job %d", got, slow.ID)
+		}
+		if got := s.List(StateDone, StateCancelled); len(got) != 2 {
+			t.Fatalf("List(done, cancelled) returned %d jobs, want 2", len(got))
+		}
+		if got := s.List(StateQueued); len(got) != 0 {
+			t.Fatalf("List(queued) = %+v, want empty", got)
+		}
+	})
 }

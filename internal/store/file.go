@@ -1,0 +1,332 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File names inside a File store's directory: the write-ahead journal, the
+// compacted snapshot, and the advisory lock guarding single-daemon access.
+const (
+	JournalName  = "journal.jsonl"
+	SnapshotName = "snapshot.json"
+	LockName     = "store.lock"
+)
+
+// DefaultSnapshotEvery is the journal length (in records) that triggers a
+// snapshot compaction when FileConfig.SnapshotEvery <= 0.
+const DefaultSnapshotEvery = 1024
+
+// FileConfig shapes a durable file store.
+type FileConfig struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// History bounds retained terminal jobs (<= 0 selects DefaultHistory).
+	History int
+	// Fsync syncs the journal after every record. Off, a SIGKILLed process
+	// loses nothing (the kernel holds the written bytes) but a machine
+	// crash can lose the tail; on, every transition survives power loss at
+	// a large throughput cost.
+	Fsync bool
+	// SnapshotEvery is the number of journal records between snapshot
+	// compactions (<= 0 selects DefaultSnapshotEvery).
+	SnapshotEvery int
+}
+
+// File is the durable backend: a Memory view kept in lockstep with an
+// append-only JSONL write-ahead journal. One record is appended per job
+// transition (submit/start/finish); every SnapshotEvery records the full
+// view is written to SnapshotName via a tmp-file rename and the journal is
+// truncated, so the log never grows without bound. Open replays
+// snapshot + journal, tolerating a torn trailing record, and re-queues jobs
+// that were running at crash time.
+//
+// Compaction is synchronous: the transition that trips SnapshotEvery
+// absorbs the snapshot write (marshal + fsync + rename + dir sync),
+// stalling concurrent mutations for that window. The cost is bounded by
+// History × record size; deployments with large histories should raise
+// SnapshotEvery (or shrink History) until a background compactor lands.
+type File struct {
+	cfg FileConfig
+	mem *Memory
+
+	// mu serialises mutations (journal appends, compaction, close); reads
+	// go straight to the Memory view under its own lock.
+	mu      sync.Mutex
+	journal *os.File
+	lock    *os.File // flock'd LockName handle; kernel-released on death
+	recs    int      // records in the current journal, drives compaction
+	closed  bool
+}
+
+// rec is one journal line.
+type rec struct {
+	Op     string          `json:"op"` // "submit" | "start" | "finish"
+	ID     int64           `json:"id"`
+	At     time.Time       `json:"at"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	State  State           `json:"state,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// snapshot is the compacted full state.
+type snapshot struct {
+	NextID   int64   `json:"next_id"`
+	Finished []int64 `json:"finished"`
+	Jobs     []Job   `json:"jobs"`
+}
+
+// Open loads (or creates) a durable store in cfg.Dir. Recovery is
+// crash-tolerant in two ways: a truncated or corrupt trailing journal line
+// (a torn write) is discarded, and records already reflected in the
+// snapshot (the compaction window between snapshot rename and journal
+// truncation) replay as no-ops. Jobs left queued or running by the previous
+// process come back queued, ready for the service to re-admit.
+func Open(cfg FileConfig) (*File, error) {
+	if cfg.History <= 0 {
+		cfg.History = DefaultHistory
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := lockDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{cfg: cfg, mem: NewMemory(cfg.History), lock: lock}
+	fail := func(err error) (*File, error) {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+
+	if data, err := os.ReadFile(filepath.Join(cfg.Dir, SnapshotName)); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fail(fmt.Errorf("store: corrupt snapshot %s: %w", SnapshotName, err))
+		}
+		f.mem.install(snap.NextID, snap.Finished, snap.Jobs)
+	} else if !os.IsNotExist(err) {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+
+	good, applied, err := f.replay()
+	if err != nil {
+		return fail(err)
+	}
+	f.mem.requeueRunning()
+
+	journal, err := os.OpenFile(filepath.Join(cfg.Dir, JournalName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	// Drop a torn tail before appending, or the partial line would fuse
+	// with the next record and corrupt the journal mid-file.
+	if err := journal.Truncate(good); err != nil {
+		journal.Close()
+		return fail(fmt.Errorf("store: truncating torn journal tail: %w", err))
+	}
+	f.journal = journal
+	f.recs = applied
+	if f.recs >= f.cfg.SnapshotEvery {
+		if err := f.compact(); err != nil {
+			journal.Close()
+			return fail(err)
+		}
+	}
+	return f, nil
+}
+
+// replay applies the journal to the in-memory view, stopping at the first
+// incomplete or unparsable line. It returns the byte offset of the end of
+// the last good record and how many records were applied.
+func (f *File) replay() (good int64, applied int, err error) {
+	data, err := os.ReadFile(filepath.Join(f.cfg.Dir, JournalName))
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: %w", err)
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn write: no terminating newline
+		}
+		var r rec
+		if json.Unmarshal(data[:nl], &r) != nil {
+			break // torn or corrupt record: discard it and everything after
+		}
+		switch r.Op {
+		case "submit":
+			f.mem.restoreSubmit(r.ID, r.Spec, r.At)
+		case "start":
+			f.mem.restoreStart(r.ID, r.At)
+		case "finish":
+			f.mem.restoreFinish(r.ID, r.State, r.At, r.Error, r.Result)
+		}
+		good += int64(nl + 1)
+		applied++
+		data = data[nl+1:]
+	}
+	return good, applied, nil
+}
+
+// append journals one record. The in-memory view has already been updated:
+// on a write error the view stays authoritative for this process and the
+// error reports the lost durability to the caller.
+func (f *File) append(r rec) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.journal.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if f.cfg.Fsync {
+		if err := f.journal.Sync(); err != nil {
+			return fmt.Errorf("store: journal sync: %w", err)
+		}
+	}
+	f.recs++
+	if f.recs >= f.cfg.SnapshotEvery {
+		return f.compact()
+	}
+	return nil
+}
+
+// compact writes the full view to the snapshot via tmp-file + rename, syncs
+// the directory so the rename is durable, and truncates the journal. A
+// crash between rename and truncate leaves a stale journal whose records
+// replay as no-ops over the fresh snapshot.
+func (f *File) compact() error {
+	nextID, finished, jobs := f.mem.snapshotState()
+	data, err := json.Marshal(snapshot{NextID: nextID, Finished: finished, Jobs: jobs})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(f.cfg.Dir, SnapshotName)
+	tmp := path + ".tmp"
+	w, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err = w.Write(append(data, '\n')); err == nil {
+		err = w.Sync()
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(f.cfg.Dir); err != nil {
+		return err
+	}
+	if err := f.journal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating journal: %w", err)
+	}
+	f.recs = 0
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+func (f *File) Submit(spec json.RawMessage, at time.Time) (Job, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Job{}, ErrClosed
+	}
+	j, err := f.mem.Submit(spec, at)
+	if err != nil {
+		return Job{}, err
+	}
+	if err := f.append(rec{Op: "submit", ID: j.ID, At: at, Spec: spec}); err != nil {
+		// Unlike Start/Finish (where the view staying ahead of the journal
+		// only costs durability), a failed admission must leave no trace:
+		// the service rejects the submission, so a job surviving in the
+		// view would be visible-but-unrunnable forever. If the record did
+		// reach the journal before the failure (fsync, compaction), the
+		// next Open resurrects the job queued and simply re-runs it.
+		f.mem.rollbackSubmit(j.ID)
+		return Job{}, err
+	}
+	return j, nil
+}
+
+func (f *File) Start(id int64, at time.Time) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if err := f.mem.Start(id, at); err != nil {
+		return err
+	}
+	return f.append(rec{Op: "start", ID: id, At: at})
+}
+
+func (f *File) Finish(id int64, state State, at time.Time, errMsg string, result json.RawMessage) ([]int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	evicted, err := f.mem.Finish(id, state, at, errMsg, result)
+	if err != nil {
+		return nil, err
+	}
+	return evicted, f.append(rec{Op: "finish", ID: id, At: at, State: state, Error: errMsg, Result: result})
+}
+
+func (f *File) Get(id int64) (Job, bool) { return f.mem.Get(id) }
+
+func (f *File) List(states ...State) []Job { return f.mem.List(states...) }
+
+// Close syncs and closes the journal and releases the directory lock. The
+// in-memory view stays readable (Get/List), matching the Memory backend
+// after a service shutdown.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.lock != nil {
+		defer f.lock.Close()
+	}
+	if err := f.journal.Sync(); err != nil {
+		f.journal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.journal.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

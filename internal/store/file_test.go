@@ -1,0 +1,315 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// crash simulates process death for a live handle: the directory lock is
+// released (as the kernel would on exit) but the journal is left unclosed
+// and no records are written. Everything appended before the "crash" is
+// already visible through the kernel.
+func (f *File) crash() {
+	if f.lock != nil {
+		f.lock.Close()
+		f.lock = nil
+	}
+}
+
+// reopen opens a store on dir, crashing prev first (nil = initial open).
+func reopen(t *testing.T, prev *File, dir string, cfg FileConfig) *File {
+	t.Helper()
+	if prev != nil {
+		prev.crash()
+	}
+	cfg.Dir = dir
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestReplayEqualsPreCrashState is the satellite acceptance check: after a
+// crash, snapshot+journal replay reconstructs exactly the state the live
+// store held — terminal jobs verbatim, queued jobs verbatim.
+func TestReplayEqualsPreCrashState(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+
+	for i := 1; i <= 3; i++ {
+		j, err := s.Submit(spec(i), at(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Start(j.ID, at(i))
+		if _, err := s.Finish(j.ID, StateDone, at(i+1), "", json.RawMessage(`{"ok":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failed, _ := s.Submit(spec(4), at(4))
+	_ = s.Start(failed.ID, at(4))
+	if _, err := s.Finish(failed.ID, StateFailed, at(5), "boom", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(5), at(6)); err != nil { // still queued at crash
+		t.Fatal(err)
+	}
+	before := s.List()
+
+	crashed := reopen(t, s, dir, FileConfig{})
+	if after := crashed.List(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("replayed state differs from pre-crash state:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+
+	// New IDs continue after the recovered high-water mark.
+	j, err := crashed.Submit(spec(6), at(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != 6 {
+		t.Fatalf("post-recovery ID = %d, want 6", j.ID)
+	}
+}
+
+// TestRunningJobRequeuedOnOpen: a job that was running at crash time comes
+// back queued with its StartedAt cleared, ready for re-execution.
+func TestRunningJobRequeuedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+	j, err := s.Submit(spec(1), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(j.ID, at(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := reopen(t, s, dir, FileConfig{})
+	got, ok := crashed.Get(j.ID)
+	if !ok {
+		t.Fatal("running job lost across crash")
+	}
+	if got.State != StateQueued || !got.StartedAt.IsZero() {
+		t.Fatalf("running-at-crash job = %+v, want queued with zero StartedAt", got)
+	}
+}
+
+// TestTornTrailingRecordTolerated: a partial (torn) trailing journal line —
+// with or without a newline — is discarded on open, the journal is
+// truncated past it, and subsequent appends produce a clean journal.
+func TestTornTrailingRecordTolerated(t *testing.T) {
+	for _, tail := range []string{
+		`{"op":"submit","id":2,"at":"2026-07-3`,        // torn mid-record, no newline
+		`{"op":"submit","id":2,"at":"2026-07-3` + "\n", // corrupt line with newline
+		"\x00\x00\x00\x00\n",                           // block of zeroes (common torn-write residue)
+	} {
+		dir := t.TempDir()
+		s := reopen(t, nil, dir, FileConfig{})
+		j, err := s.Submit(spec(1), at(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Finish(j.ID, StateCancelled, at(1), "", nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		journal := filepath.Join(dir, JournalName)
+		f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(tail); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		recovered := reopen(t, s, dir, FileConfig{})
+		got, ok := recovered.Get(1)
+		if !ok || got.State != StateCancelled {
+			t.Fatalf("tail %q: job 1 = %+v, want cancelled", tail, got)
+		}
+		if _, ok := recovered.Get(2); ok {
+			t.Fatalf("tail %q: torn submit resurrected job 2", tail)
+		}
+		if _, err := recovered.Submit(spec(2), at(2)); err != nil {
+			t.Fatal(err)
+		}
+
+		// The journal must replay cleanly again: the torn bytes are gone.
+		final := reopen(t, recovered, dir, FileConfig{})
+		if jobs := final.List(); len(jobs) != 2 {
+			t.Fatalf("tail %q: final state = %+v, want 2 jobs", tail, jobs)
+		}
+	}
+}
+
+// TestSnapshotCompaction: the journal is truncated every SnapshotEvery
+// records and the full state moves into the snapshot; recovery then starts
+// from the snapshot, and the whole history survives.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{SnapshotEvery: 5})
+	for i := 1; i <= 4; i++ {
+		j, _ := s.Submit(spec(i), at(i))
+		_ = s.Start(j.ID, at(i))
+		if _, err := s.Finish(j.ID, StateDone, at(i), "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12 records written at SnapshotEvery=5: at least two compactions.
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err != nil {
+		t.Fatalf("no snapshot after 12 records: %v", err)
+	}
+	info, err := os.Stat(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live journal holds only the records since the last compaction
+	// (12 mod 5 = 2 records).
+	if info.Size() > 2*256 {
+		t.Fatalf("journal grew to %d bytes despite compaction", info.Size())
+	}
+
+	recovered := reopen(t, s, dir, FileConfig{SnapshotEvery: 5})
+	jobs := recovered.List(StateDone)
+	if len(jobs) != 4 {
+		t.Fatalf("recovered %d done jobs, want 4", len(jobs))
+	}
+}
+
+// TestStaleJournalReplaysIdempotently simulates the compaction crash
+// window: the snapshot was renamed into place but the journal was not yet
+// truncated, so every journal record is already reflected in the snapshot.
+// Replay must converge to the same state, not double-apply.
+func TestStaleJournalReplaysIdempotently(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+	j, _ := s.Submit(spec(1), at(0))
+	_ = s.Start(j.ID, at(1))
+	if _, err := s.Finish(j.ID, StateDone, at(2), "", json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(2), at(3)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.List()
+	s.Close()
+
+	// Hand-write the snapshot the crashed compaction would have left, with
+	// the full journal still in place behind it.
+	nextID, finished, jobs := s.mem.snapshotState()
+	data, err := json.Marshal(snapshot{NextID: nextID, Finished: finished, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SnapshotName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := reopen(t, s, dir, FileConfig{})
+	if after := recovered.List(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("stale journal double-applied:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	if j, err := recovered.Submit(spec(3), at(4)); err != nil || j.ID != 3 {
+		t.Fatalf("post-recovery submit = %+v, %v, want ID 3", j, err)
+	}
+}
+
+// TestFsyncBackendWorks exercises the fsync-per-record path end to end.
+func TestFsyncBackendWorks(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{Fsync: true})
+	j, err := s.Submit(spec(1), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(j.ID, StateDone, at(1), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	recovered := reopen(t, s, dir, FileConfig{Fsync: true})
+	if got, ok := recovered.Get(j.ID); !ok || got.State != StateDone {
+		t.Fatalf("fsync store lost job: %+v", got)
+	}
+}
+
+// TestClosedStoreRejectsWrites: mutations after Close fail, reads keep
+// working (mirroring the memory backend after a service shutdown).
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s := reopen(t, nil, t.TempDir(), FileConfig{})
+	j, _ := s.Submit(spec(1), at(0))
+	s.Close()
+	if _, err := s.Submit(spec(2), at(1)); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	if err := s.Start(j.ID, at(1)); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+	if got, ok := s.Get(j.ID); !ok || got.ID != j.ID {
+		t.Fatal("Get after Close failed")
+	}
+}
+
+// TestDataDirLocked: a second store on the same data directory is refused
+// while the first process (handle) holds the lock, and admitted once the
+// holder dies or closes.
+func TestDataDirLocked(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+	if _, err := Open(FileConfig{Dir: dir}); err == nil {
+		t.Fatal("second Open on a locked data dir succeeded")
+	}
+	s.crash() // kernel releases the lock with the process
+	again, err := Open(FileConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after holder died: %v", err)
+	}
+	again.Close()
+	// A graceful Close releases it too.
+	third, err := Open(FileConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	third.Close()
+}
+
+// TestSubmitRollsBackOnAppendFailure: a submission whose journal append
+// fails must leave no trace in the view — otherwise the service would
+// reject the submission while a zombie queued job stays visible forever.
+func TestSubmitRollsBackOnAppendFailure(t *testing.T) {
+	s := reopen(t, nil, t.TempDir(), FileConfig{})
+	s.journal.Close() // force every append to fail
+	if _, err := s.Submit(spec(1), at(0)); err == nil {
+		t.Fatal("Submit with a dead journal succeeded")
+	}
+	if jobs := s.List(); len(jobs) != 0 {
+		t.Fatalf("failed Submit left %+v in the view", jobs)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("failed Submit left job 1 gettable")
+	}
+}
+
+// TestTimesSurviveRoundTrip pins that timestamps compare equal (DeepEqual)
+// across the JSON journal round trip — the replay-equality guarantees above
+// depend on it.
+func TestTimesSurviveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+	now := time.Now().UTC() // UTC() strips the monotonic reading, as the service does
+	j, err := s.Submit(spec(1), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := reopen(t, s, dir, FileConfig{})
+	got, _ := recovered.Get(j.ID)
+	if !reflect.DeepEqual(got.SubmittedAt, now) {
+		t.Fatalf("SubmittedAt %#v != original %#v", got.SubmittedAt, now)
+	}
+}

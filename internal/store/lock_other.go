@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics; single-daemon
+// discipline is the operator's responsibility there.
+func lockDir(string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an advisory exclusive lock on the data directory so two
+// stores (two daemons) can never journal into it concurrently — without
+// this, interleaved appends and competing compactions would silently
+// corrupt the history. flock is released by the kernel when the holding
+// process dies, so a SIGKILLed daemon never wedges its directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
