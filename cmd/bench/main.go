@@ -317,7 +317,7 @@ func benchService(workers int) (serviceEntry, error) {
 		for {
 			job, err := svc.Submit(spec)
 			if err == nil {
-				ids = append(ids, job.ID)
+				ids = append(ids, job.ID.Seq)
 				break
 			}
 			if !errors.Is(err, service.ErrQueueFull) {

@@ -11,9 +11,14 @@
 //	wait    poll a job until it reaches a terminal state (backoff to 2s)
 //	cancel  cancel a queued or running job
 //	health  print the server's liveness report
+//	cluster print a router's per-backend health report (router mode only)
 //
-// Submissions bounced by a full queue (HTTP 429) are retried with jittered
-// exponential backoff, so batch drivers degrade gracefully under overload.
+// hyperctl speaks to single daemons and cluster routers alike: job IDs are
+// accepted in both wire forms (a bare sequence number like 3, or the
+// shard-prefixed s2-17 a router hands out), and every subcommand passes
+// them through unchanged. Submissions bounced by a full queue (HTTP 429)
+// are retried with jittered exponential backoff, so batch drivers degrade
+// gracefully under overload.
 //
 // Examples:
 //
@@ -24,6 +29,8 @@
 //	hyperctl list -state done,failed
 //	hyperctl wait 3 -timeout 60s
 //	hyperctl cancel 3
+//	hyperctl -addr http://router:8090 wait s2-17
+//	hyperctl -addr http://router:8090 cluster
 package main
 
 import (
@@ -32,10 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"hypersolve/internal/cluster"
 	"hypersolve/internal/service"
 )
 
@@ -55,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health} [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health|cluster} [flags]\n")
 	flag.PrintDefaults()
 }
 
@@ -78,8 +85,14 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 			return err
 		}
 		return printJSON(h)
+	case "cluster":
+		var h cluster.Health
+		if err := client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
+			return err
+		}
+		return printJSON(h)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health|cluster)", cmd)
 	}
 }
 
@@ -246,12 +259,11 @@ func cancel(ctx context.Context, client *service.Client, args []string) error {
 	return printJSON(job)
 }
 
-func parseID(s string) (int64, error) {
-	id, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad job id %q", s)
-	}
-	return id, nil
+// parseID accepts both wire forms transparently: a bare sequence number
+// when talking to a single daemon, or a shard-prefixed cluster ID like
+// "s2-17" when talking to a router.
+func parseID(s string) (service.JobID, error) {
+	return service.ParseJobID(s)
 }
 
 func printJSON(v any) error {

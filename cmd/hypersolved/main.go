@@ -1,17 +1,28 @@
-// Command hypersolved runs the solve service: a long-lived HTTP JSON server
-// that accepts solve jobs, queues them behind a bounded admission queue, and
-// executes them on a pool of simulated hyperspace machines.
+// Command hypersolved runs the solve service in one of two modes.
+//
+// Serve mode (the default) is a long-lived HTTP JSON server that accepts
+// solve jobs, queues them behind a bounded admission queue, and executes
+// them on a pool of simulated hyperspace machines:
 //
 //	hypersolved -addr :8080 -queue 64 -workers 4
 //	hypersolved -addr :8080 -data-dir /var/lib/hypersolve   # durable job store
 //
-// API (see internal/service for the spec and payload shapes):
+// Router mode fronts several serve-mode daemons as one sharded cluster:
+// submissions are hash-partitioned across the backends, job IDs carry their
+// shard ("s2-17"), listings fan out to every backend and merge, and dead
+// backends degrade the cluster instead of failing it:
+//
+//	hypersolved -addr :8090 -route http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// API (see docs/API.md, internal/service and internal/cluster):
 //
 //	POST   /v1/jobs      submit a JobSpec  (429 when the queue is full)
-//	GET    /v1/jobs      list jobs (?state=done,failed filters)
-//	GET    /v1/jobs/{id} job status + result
+//	GET    /v1/jobs      list jobs (?state=done,failed filters); fanned out and
+//	                     merged in router mode
+//	GET    /v1/jobs/{id} job status + result; routed by shard in router mode
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /healthz      liveness + queue occupancy
+//	GET    /v1/cluster   per-backend health report (router mode only)
 //
 // Example:
 //
@@ -23,7 +34,10 @@
 // terminal job history and re-runs whatever was queued or running —
 // spec+seed determinism makes the re-run bit-identical. -fsync trades
 // throughput for power-loss durability; -snapshot-every bounds journal
-// growth between compactions.
+// growth between compactions (snapshots are written off the transition
+// path by a background compactor). A router holds no job state of its own:
+// durability lives in the backends' data directories, so -data-dir and
+// -route are mutually exclusive.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight HTTP requests finish, queued jobs are cancelled and running
@@ -40,9 +54,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hypersolve/internal/cluster"
 	"hypersolve/internal/service"
 	"hypersolve/internal/store"
 )
@@ -56,15 +72,25 @@ func main() {
 		fsync         = flag.Bool("fsync", false, "fsync the journal after every record (survives power loss, much slower)")
 		snapshotEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery,
 			"journal records between snapshot compactions")
+		route = flag.String("route", "",
+			"router mode: comma-separated backend base URLs (e.g. http://b1:8080,http://b2:8080); shard i is backend i+1")
+		probeEvery = flag.Duration("probe-every", 2*time.Second,
+			"router mode: cadence of the backend health re-probe loop")
 	)
 	flag.Parse()
-	if err := run(*addr, *queue, *workers, *dataDir, *fsync, *snapshotEvery); err != nil {
+	var err error
+	if *route != "" {
+		err = runRouter(*addr, *route, *probeEvery, *dataDir)
+	} else {
+		err = runServe(*addr, *queue, *workers, *dataDir, *fsync, *snapshotEvery)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hypersolved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, workers int, dataDir string, fsync bool, snapshotEvery int) error {
+func runServe(addr string, queue, workers int, dataDir string, fsync bool, snapshotEvery int) error {
 	cfg := service.Config{QueueDepth: queue, Workers: workers}
 	if dataDir != "" {
 		st, err := store.Open(store.FileConfig{Dir: dataDir, Fsync: fsync, SnapshotEvery: snapshotEvery})
@@ -79,10 +105,30 @@ func run(addr string, queue, workers int, dataDir string, fsync bool, snapshotEv
 	}
 	svc := service.New(cfg)
 	depth, pool := svc.Queue()
+	banner := fmt.Sprintf("hypersolved: listening on %s (queue depth %d, %d workers)", addr, depth, pool)
+	return serve(addr, service.NewHandler(svc), banner, svc.Close)
+}
 
+func runRouter(addr, route string, probeEvery time.Duration, dataDir string) error {
+	if dataDir != "" {
+		return errors.New("-route and -data-dir are mutually exclusive: a router holds no job state; give each backend its own -data-dir")
+	}
+	backends := strings.Split(route, ",")
+	r, err := cluster.New(cluster.Config{Backends: backends, ProbeEvery: probeEvery})
+	if err != nil {
+		return err
+	}
+	banner := fmt.Sprintf("hypersolved: routing on %s across %d shards (%s)", addr, r.Shards(), route)
+	return serve(addr, cluster.NewHandler(r), banner, r.Close)
+}
+
+// serve runs the HTTP loop shared by both modes: listen, print the banner,
+// and on SIGINT/SIGTERM drain in-flight requests before closing the
+// service (or router) behind the handler.
+func serve(addr string, handler http.Handler, banner string, closeBackend func()) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -91,11 +137,11 @@ func run(addr string, queue, workers int, dataDir string, fsync bool, snapshotEv
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hypersolved: listening on %s (queue depth %d, %d workers)\n", addr, depth, pool)
+	fmt.Fprintln(os.Stderr, banner)
 
 	select {
 	case err := <-errc:
-		svc.Close()
+		closeBackend()
 		return err
 	case <-ctx.Done():
 	}
@@ -103,7 +149,7 @@ func run(addr string, queue, workers int, dataDir string, fsync bool, snapshotEv
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
-	svc.Close()
+	closeBackend()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -34,6 +34,7 @@ import (
 	"net/http"
 
 	"hypersolve/internal/apps"
+	"hypersolve/internal/cluster"
 	"hypersolve/internal/core"
 	"hypersolve/internal/mapping"
 	"hypersolve/internal/mesh"
@@ -304,6 +305,14 @@ type RecursionOptions = recursion.Options
 // kind and its parameters plus the machine to run it on.
 type JobSpec = service.JobSpec
 
+// JobID identifies a job on the wire: a bare sequence number on a single
+// daemon, shard-prefixed ("s2-17") behind a cluster router. See
+// ParseJobID.
+type JobID = service.JobID
+
+// ParseJobID parses either wire form of a job ID ("17" or "s2-17").
+func ParseJobID(s string) (JobID, error) { return service.ParseJobID(s) }
+
 // LinkSpec is the JSON shape of JobSpec's layer-1 link-model extensions.
 type LinkSpec = service.LinkSpec
 
@@ -365,7 +374,37 @@ func NewMemoryJobStore(history int) JobStore { return store.NewMemory(history) }
 
 // OpenFileJobStore opens (or creates) the durable backend: every job
 // transition is appended to a JSONL write-ahead journal and periodically
-// compacted into a snapshot. A SolveService started on a recovered store
+// compacted into a snapshot (written off the transition path by a
+// background compactor). A SolveService started on a recovered store
 // re-runs whatever the previous process left queued or running; spec+seed
 // determinism makes the re-run bit-identical.
 func OpenFileJobStore(cfg FileJobStoreConfig) (JobStore, error) { return store.Open(cfg) }
+
+// ---------------------------------------------------------------------------
+// Sharded solve cluster (hypersolved -route)
+// ---------------------------------------------------------------------------
+
+// ClusterRouter fronts several hypersolved daemons as one sharded solve
+// service: submissions are hash-partitioned, job IDs encode their shard,
+// listings fan out and merge, and dead backends degrade the cluster
+// instead of failing it. See internal/cluster and docs/ARCHITECTURE.md.
+type ClusterRouter = cluster.Router
+
+// ClusterConfig shapes a ClusterRouter: backend base URLs (shard i+1 =
+// Backends[i]), health re-probe cadence, transport and retry policy.
+type ClusterConfig = cluster.Config
+
+// ClusterHealth is the /v1/cluster report: the fleet verdict plus one
+// BackendHealth row per shard.
+type ClusterHealth = cluster.Health
+
+// BackendHealth is one backend's row in the cluster report.
+type BackendHealth = cluster.BackendHealth
+
+// NewClusterRouter builds a router over the configured backends and starts
+// its background health re-probe loop; Close stops it.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
+
+// NewClusterHandler wraps a router in the solve service's HTTP JSON API
+// plus GET /v1/cluster (the surface served by hypersolved -route).
+func NewClusterHandler(r *ClusterRouter) http.Handler { return cluster.NewHandler(r) }

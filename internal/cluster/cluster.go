@@ -1,0 +1,430 @@
+// Package cluster shards the solve service's job space across several
+// hypersolved daemons behind one entry point — the paper's fleet story. A
+// Router fronts N backend daemons, each with its own durable store:
+// submissions are hash-partitioned over the healthy backends, the assigned
+// shard is encoded into the job ID ("s2-17" is job 17 on shard 2) so
+// point reads and cancels route directly, and listings fan out to every
+// backend and merge ordered by ID. service.Client is the inter-daemon
+// transport, so the router inherits its 429 retry/backoff on submissions.
+//
+// Backends fail independently: a transport-level failure marks the backend
+// degraded (skipped for placement, periodically re-probed) instead of
+// failing the router, and reads served by the surviving backends keep
+// working. GET /v1/cluster reports per-backend reachability, queue depth
+// and job counts.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hypersolve/internal/service"
+)
+
+// Sentinel errors of the routing layer; the HTTP handler maps them onto
+// status codes (503, 502, 404).
+var (
+	// ErrNoBackends means no backend accepted the call — every shard is
+	// unreachable (the router's 503).
+	ErrNoBackends = errors.New("cluster: no reachable backend")
+	// ErrUnknownShard means the job ID names a shard this router does not
+	// front (the router's 404).
+	ErrUnknownShard = errors.New("cluster: no such shard")
+	// ErrUnsharded means a bare sequence ID was addressed to the router; the
+	// router cannot know which backend owns it.
+	ErrUnsharded = errors.New("cluster: job id carries no shard (want s<shard>-<seq>)")
+)
+
+// Config shapes a Router.
+type Config struct {
+	// Backends are the daemon base URLs; Backends[i] serves shard i+1.
+	Backends []string
+	// ProbeEvery is the cadence of the background health re-probe loop
+	// (<= 0 selects 2s). Degraded backends also recover on any successful
+	// proxied call, so the loop only bounds how long an idle router takes
+	// to notice a backend coming back.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds each per-backend health probe (<= 0 selects 1s).
+	ProbeTimeout time.Duration
+	// HTTP is the transport shared by all backend clients; nil means
+	// http.DefaultClient.
+	HTTP *http.Client
+	// Retry is the submission backoff policy applied per backend attempt
+	// (see service.Retry); the zero value selects the client defaults.
+	Retry service.Retry
+}
+
+// backend is one shard: its client plus the router's view of its health.
+type backend struct {
+	shard  int // 1-based
+	base   string
+	client *service.Client
+
+	mu      sync.Mutex
+	healthy bool
+	lastErr string // transport error that degraded it, "" when healthy
+}
+
+func (b *backend) setHealthy() {
+	b.mu.Lock()
+	b.healthy, b.lastErr = true, ""
+	b.mu.Unlock()
+}
+
+func (b *backend) setDegraded(err error) {
+	b.mu.Lock()
+	b.healthy, b.lastErr = false, err.Error()
+	b.mu.Unlock()
+}
+
+func (b *backend) state() (healthy bool, lastErr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.lastErr
+}
+
+// Router fronts a fleet of hypersolved daemons as one solve service. All
+// methods are safe for concurrent use. Close stops the re-probe loop.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	stop     chan struct{}
+	stopped  sync.Once
+	done     chan struct{}
+}
+
+// New builds a router over cfg.Backends (shard i+1 = Backends[i]) and
+// starts its background re-probe loop. Backends start healthy: the first
+// failed call degrades them, the probe loop and successful calls recover
+// them.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	r := &Router{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	for i, base := range cfg.Backends {
+		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+		if base == "" {
+			return nil, fmt.Errorf("cluster: backend %d has an empty URL", i+1)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate backend %s (two shards on one store would double-run jobs)", base)
+		}
+		seen[base] = true
+		r.backends = append(r.backends, &backend{
+			shard:   i + 1,
+			base:    base,
+			client:  &service.Client{Base: base, HTTP: cfg.HTTP, Retry: cfg.Retry},
+			healthy: true,
+		})
+	}
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the background re-probe loop.
+func (r *Router) Close() {
+	r.stopped.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Shards returns the number of backends fronted by the router.
+func (r *Router) Shards() int { return len(r.backends) }
+
+func (r *Router) probeLoop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.probe(context.Background())
+		}
+	}
+}
+
+// probe checks every backend's /healthz concurrently (each attempt bounded
+// by ProbeTimeout), updating the degraded flags, and returns each
+// backend's report (zero Health where unreachable). When the parent
+// context is cancelled mid-probe the remaining verdicts are discarded
+// rather than recorded: an impatient /v1/cluster caller must not degrade
+// healthy backends.
+func (r *Router) probe(parent context.Context) []service.Health {
+	reports := make([]service.Health, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(parent, r.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := b.client.Health(ctx)
+			if err != nil {
+				if parent.Err() == nil {
+					b.setDegraded(err)
+				}
+				return
+			}
+			b.setHealthy()
+			reports[i] = h
+		}()
+	}
+	wg.Wait()
+	return reports
+}
+
+// shardFor hash-partitions a spec over the shard space: FNV-1a of the
+// spec's canonical JSON encoding modulo the backend count. The hash is a
+// pure function of the spec, so identical work lands on the same shard
+// (and a re-submitted spec finds its twin's shard) while distinct specs
+// spread uniformly.
+func (r *Router) shardFor(spec service.JobSpec) int {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return 0 // unreachable for a decodable spec; shard 1 is as good as any
+	}
+	h := fnv.New32a()
+	h.Write(data)
+	// Reduce in uint32 space: a plain int(Sum32()) % n goes negative on
+	// 32-bit platforms for hashes >= 2^31.
+	return int(h.Sum32() % uint32(len(r.backends)))
+}
+
+// Submit places the spec on its hash-assigned shard and returns the
+// accepted job with its sharded ID. When the assigned backend is degraded
+// or fails at the transport level, placement walks forward to the next
+// healthy backend — the ID records where the job actually landed, so
+// spillover placement stays fully addressable. A backend that answers with
+// an HTTP verdict (400 bad spec, 429 after the client's retries, 503)
+// ends the walk: the backend spoke for the cluster.
+func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job, error) {
+	start := r.shardFor(spec)
+	n := len(r.backends)
+	// First pass: healthy backends in hash order. Second pass: backends
+	// that were already degraded at entry — they may have just come back,
+	// and trying beats failing. Backends that failed during the first pass
+	// are not retried: they cannot have recovered in microseconds, and
+	// re-paying their transport timeout would double outage latency.
+	tried := make([]bool, n)
+	var lastTransportErr error
+	for _, wantHealthy := range []bool{true, false} {
+		for i := 0; i < n; i++ {
+			idx := (start + i) % n
+			b := r.backends[idx]
+			if tried[idx] {
+				continue
+			}
+			if healthy, _ := b.state(); healthy != wantHealthy {
+				continue
+			}
+			tried[idx] = true
+			job, err := b.client.Submit(ctx, spec)
+			if err == nil {
+				b.setHealthy()
+				job.ID.Shard = b.shard
+				return job, nil
+			}
+			if _, spoke := service.ErrorStatus(err); spoke {
+				return service.Job{}, err
+			}
+			if ctx.Err() != nil {
+				return service.Job{}, err
+			}
+			b.setDegraded(err)
+			lastTransportErr = err
+		}
+	}
+	if lastTransportErr != nil {
+		return service.Job{}, fmt.Errorf("%w: %v", ErrNoBackends, lastTransportErr)
+	}
+	return service.Job{}, ErrNoBackends
+}
+
+// route resolves a sharded ID to its backend.
+func (r *Router) route(id service.JobID) (*backend, error) {
+	if !id.Sharded() {
+		return nil, fmt.Errorf("%w: %q", ErrUnsharded, id)
+	}
+	// Guard both bounds: ParseJobID only produces shards >= 1, but library
+	// callers can hand-build a JobID with a negative shard.
+	if id.Shard < 1 || id.Shard > len(r.backends) {
+		return nil, fmt.Errorf("%w: %q names shard %d of %d", ErrUnknownShard, id, id.Shard, len(r.backends))
+	}
+	return r.backends[id.Shard-1], nil
+}
+
+// Get fetches one job from the shard encoded in its ID.
+func (r *Router) Get(ctx context.Context, id service.JobID) (service.Job, error) {
+	b, err := r.route(id)
+	if err != nil {
+		return service.Job{}, err
+	}
+	job, err := b.client.Get(ctx, service.JobID{Seq: id.Seq})
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			b.setDegraded(err)
+		}
+		return service.Job{}, err
+	}
+	b.setHealthy()
+	job.ID.Shard = b.shard
+	return job, nil
+}
+
+// Cancel stops a job on the shard encoded in its ID.
+func (r *Router) Cancel(ctx context.Context, id service.JobID) (service.Job, error) {
+	b, err := r.route(id)
+	if err != nil {
+		return service.Job{}, err
+	}
+	job, err := b.client.Cancel(ctx, service.JobID{Seq: id.Seq})
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			b.setDegraded(err)
+		}
+		return service.Job{}, err
+	}
+	b.setHealthy()
+	job.ID.Shard = b.shard
+	return job, nil
+}
+
+// List fans the listing out to every backend concurrently and merges the
+// results ordered by ID (shard, then sequence). A backend that fails at
+// the transport level is marked degraded and skipped — complete reports
+// false and the listing is the union of the reachable shards. Only when
+// every backend fails does List return an error.
+func (r *Router) List(ctx context.Context, states ...service.State) (jobs []service.Job, complete bool, err error) {
+	type result struct {
+		jobs []service.Job
+		err  error
+	}
+	results := make([]result, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := b.client.List(ctx, states...)
+			if err != nil {
+				if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+					b.setDegraded(err)
+				}
+				results[i] = result{err: err}
+				return
+			}
+			b.setHealthy()
+			for k := range got {
+				got[k].ID.Shard = b.shard
+			}
+			results[i] = result{jobs: got}
+		}()
+	}
+	wg.Wait()
+
+	// Non-nil even when empty: a single daemon's GET /v1/jobs returns [],
+	// and the router must match that wire contract, not emit null.
+	jobs = make([]service.Job, 0)
+	complete = true
+	var firstErr error
+	reachable := 0
+	for _, res := range results {
+		if res.err != nil {
+			complete = false
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		reachable++
+		jobs = append(jobs, res.jobs...)
+	}
+	if reachable == 0 {
+		return nil, false, fmt.Errorf("%w: %v", ErrNoBackends, firstErr)
+	}
+	// Backends return their jobs ID-ordered; the merge re-sorts the
+	// concatenation so the router's ordering contract matches a single
+	// daemon's: ascending by (shard, seq).
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID.Less(jobs[k].ID) })
+	return jobs, complete, nil
+}
+
+// BackendHealth is one backend's row in the cluster report.
+type BackendHealth struct {
+	// Shard is the backend's 1-based shard number (job IDs s<Shard>-…).
+	Shard int `json:"shard"`
+	// Base is the backend's root URL.
+	Base string `json:"base"`
+	// Healthy reports reachability as of this probe.
+	Healthy bool `json:"healthy"`
+	// Error is the transport failure that degraded the backend.
+	Error string `json:"error,omitempty"`
+	// QueueDepth, Workers and Jobs mirror the backend's own /healthz
+	// report; zero/empty when the backend is unreachable.
+	QueueDepth int                   `json:"queue_depth,omitempty"`
+	Workers    int                   `json:"workers,omitempty"`
+	Jobs       map[service.State]int `json:"jobs,omitempty"`
+}
+
+// Health is the /v1/cluster payload: the fleet verdict plus one row per
+// backend.
+type Health struct {
+	// Status is "ok" when every backend is reachable, "degraded" when some
+	// are, and "down" when none is.
+	Status string `json:"status"`
+	// Shards is the configured backend count; Healthy of them answered.
+	Shards   int                   `json:"shards"`
+	Healthy  int                   `json:"healthy"`
+	Jobs     map[service.State]int `json:"jobs,omitempty"`
+	Backends []BackendHealth       `json:"backends"`
+}
+
+// Health probes every backend live (bounded by ProbeTimeout each) and
+// reports per-backend reachability, queue depth and aggregated job counts.
+// The probe updates the routing health state, so reading /v1/cluster also
+// heals backends that have come back.
+func (r *Router) Health(ctx context.Context) Health {
+	reports := r.probe(ctx)
+
+	out := Health{Shards: len(r.backends), Jobs: make(map[service.State]int)}
+	for i, b := range r.backends {
+		healthy, lastErr := b.state()
+		row := BackendHealth{Shard: b.shard, Base: b.base, Healthy: healthy, Error: lastErr}
+		if healthy {
+			out.Healthy++
+			row.QueueDepth = reports[i].QueueDepth
+			row.Workers = reports[i].Workers
+			row.Jobs = reports[i].Jobs
+			for st, n := range reports[i].Jobs {
+				out.Jobs[st] += n
+			}
+		}
+		out.Backends = append(out.Backends, row)
+	}
+	switch out.Healthy {
+	case len(r.backends):
+		out.Status = "ok"
+	case 0:
+		out.Status = "down"
+	default:
+		out.Status = "degraded"
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hypersolve/internal/service"
+)
+
+// quickSpec returns a job solving in milliseconds; the seed varies the spec
+// bytes, and with them the shard the router hashes it to.
+func quickSpec(seed int64) service.JobSpec {
+	return service.JobSpec{Kind: "sum", N: 20, Topology: "ring:4", Seed: seed}
+}
+
+// testCluster is a live fleet: n real daemons (service + HTTP) behind a
+// router, itself served over HTTP and addressed through the ordinary
+// service.Client — exactly the hyperctl path.
+type testCluster struct {
+	backends []*httptest.Server
+	services []*service.Service
+	router   *Router
+	server   *httptest.Server
+	client   *service.Client
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	bases := make([]string, n)
+	for i := 0; i < n; i++ {
+		svc := service.New(service.Config{QueueDepth: 16, Workers: 1})
+		srv := httptest.NewServer(service.NewHandler(svc))
+		tc.services = append(tc.services, svc)
+		tc.backends = append(tc.backends, srv)
+		bases[i] = srv.URL
+	}
+	r, err := New(Config{Backends: bases, ProbeEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = r
+	tc.server = httptest.NewServer(NewHandler(r))
+	tc.client = &service.Client{Base: tc.server.URL}
+	t.Cleanup(func() {
+		tc.server.Close()
+		r.Close()
+		for i := range tc.backends {
+			tc.backends[i].Close()
+			tc.services[i].Close()
+		}
+	})
+	return tc
+}
+
+// submitSpread submits seeds 0..count-1 through the router until both
+// shard 1 and shard 2 hold at least one job, returning all jobs. The hash
+// is deterministic, so if this ever fails to spread the partitioner is
+// broken, not the test.
+func submitSpread(t *testing.T, tc *testCluster, ctx context.Context, count int) []service.Job {
+	t.Helper()
+	var jobs []service.Job
+	shards := map[int]int{}
+	for seed := int64(0); seed < int64(count); seed++ {
+		job, err := tc.client.Submit(ctx, quickSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !job.ID.Sharded() {
+			t.Fatalf("router returned unsharded ID %q", job.ID)
+		}
+		shards[job.ID.Shard]++
+		jobs = append(jobs, job)
+	}
+	if len(shards) < 2 {
+		t.Fatalf("hash partitioning put all %d jobs on one shard: %v", count, shards)
+	}
+	return jobs
+}
+
+// TestRouterEndToEnd is the tentpole acceptance check: jobs submitted
+// through the router execute on the backends, are retrievable through the
+// router by sharded ID, and the fanned-out listing equals the union of the
+// backends' own listings, ordered by ID.
+func TestRouterEndToEnd(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	jobs := submitSpread(t, tc, ctx, 6)
+	for _, job := range jobs {
+		final, err := tc.client.Wait(ctx, job.ID, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", job.ID, err)
+		}
+		if final.State != service.StateDone || final.Result == nil || !final.Result.OK {
+			t.Fatalf("job %s = %+v, want done OK", job.ID, final)
+		}
+		if final.ID != job.ID {
+			t.Fatalf("Get through router returned ID %q, want %q", final.ID, job.ID)
+		}
+	}
+
+	// The router's listing is the union of the backends', resharded and
+	// ordered by (shard, seq).
+	union := 0
+	for i, svc := range tc.services {
+		for _, j := range svc.List() {
+			union++
+			// Every backend-local job must be fetchable through the router
+			// under its sharded name.
+			got, err := tc.client.Get(ctx, service.JobID{Shard: i + 1, Seq: j.ID.Seq})
+			if err != nil {
+				t.Fatalf("router get s%d-%d: %v", i+1, j.ID.Seq, err)
+			}
+			if got.State != service.StateDone {
+				t.Fatalf("router get s%d-%d state = %s", i+1, j.ID.Seq, got.State)
+			}
+		}
+	}
+	listed, err := tc.client.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != union || union != 6 {
+		t.Fatalf("router list has %d jobs, backends hold %d, submitted 6", len(listed), union)
+	}
+	for i := 1; i < len(listed); i++ {
+		if !listed[i-1].ID.Less(listed[i].ID) {
+			t.Fatalf("merged listing out of order at %d: %q !< %q", i, listed[i-1].ID, listed[i].ID)
+		}
+	}
+	// State filters propagate to the fan-out.
+	done, err := tc.client.List(ctx, service.StateDone)
+	if err != nil || len(done) != 6 {
+		t.Fatalf("list ?state=done = %d jobs (%v), want 6", len(done), err)
+	}
+	if queued, err := tc.client.List(ctx, service.StateQueued); err != nil || len(queued) != 0 {
+		t.Fatalf("list ?state=queued = %+v (%v), want empty", queued, err)
+	}
+}
+
+// TestRouterHashRoutesConsistently: the same spec always lands on the same
+// shard, and Get through the router agrees with the backend that ran it.
+func TestRouterHashRoutesConsistently(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	first, err := tc.client.Submit(ctx, quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tc.client.Submit(ctx, quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID.Shard != second.ID.Shard {
+		t.Fatalf("identical specs landed on shards %d and %d", first.ID.Shard, second.ID.Shard)
+	}
+	if first.ID.Seq == second.ID.Seq {
+		t.Fatalf("two submissions share sequence %d", first.ID.Seq)
+	}
+}
+
+// TestRouterCancelRoutesByShard: a cancel through the router reaches the
+// owning backend; cancelling a finished job relays the backend's 409.
+func TestRouterCancelRoutesByShard(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	job, err := tc.client.Submit(ctx, quickSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.Wait(ctx, job.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tc.client.Cancel(ctx, job.ID)
+	if status, ok := service.ErrorStatus(err); !ok || status != http.StatusConflict {
+		t.Fatalf("cancel of done job through router = %v, want relayed 409", err)
+	}
+}
+
+// TestRouterIDErrors: unsharded IDs are rejected with 400 and unknown
+// shards with 404 — before any backend is contacted.
+func TestRouterIDErrors(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	_, err := tc.client.Get(ctx, service.JobID{Seq: 1})
+	if status, ok := service.ErrorStatus(err); !ok || status != http.StatusBadRequest {
+		t.Fatalf("unsharded get through router = %v, want 400", err)
+	}
+	_, err = tc.client.Get(ctx, service.JobID{Shard: 9, Seq: 1})
+	if status, ok := service.ErrorStatus(err); !ok || status != http.StatusNotFound {
+		t.Fatalf("unknown shard get = %v, want 404", err)
+	}
+	// A well-routed miss relays the backend's 404.
+	_, err = tc.client.Get(ctx, service.JobID{Shard: 1, Seq: 999})
+	if status, ok := service.ErrorStatus(err); !ok || status != http.StatusNotFound {
+		t.Fatalf("missing job get = %v, want backend 404", err)
+	}
+}
+
+// TestRouterDegradedBackend is the degradation acceptance check: with one
+// backend dead, the fanned-out listing still serves the union of the
+// survivors (sorted, marked partial), /v1/cluster reports the outage, the
+// dead shard's reads fail with 502 — and new submissions spill over to the
+// healthy shard instead of failing.
+func TestRouterDegradedBackend(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	jobs := submitSpread(t, tc, ctx, 6)
+	for _, job := range jobs {
+		if _, err := tc.client.Wait(ctx, job.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var alive, dead int // shard numbers
+	perShard := map[int][]service.Job{}
+	for _, j := range jobs {
+		perShard[j.ID.Shard] = append(perShard[j.ID.Shard], j)
+	}
+
+	// Kill shard 2's HTTP listener (its jobs are lost to the fleet until it
+	// returns, as in a real partition).
+	dead, alive = 2, 1
+	tc.backends[dead-1].Close()
+
+	// Fan-out list: survivors only, still ordered, no error.
+	listed, err := tc.client.List(ctx)
+	if err != nil {
+		t.Fatalf("list with one backend down: %v", err)
+	}
+	if len(listed) != len(perShard[alive]) {
+		t.Fatalf("partial list = %d jobs, want %d from surviving shard", len(listed), len(perShard[alive]))
+	}
+	for _, j := range listed {
+		if j.ID.Shard != alive {
+			t.Fatalf("partial list leaked job %q from dead shard", j.ID)
+		}
+	}
+	for i := 1; i < len(listed); i++ {
+		if !listed[i-1].ID.Less(listed[i].ID) {
+			t.Fatalf("partial listing out of order: %q !< %q", listed[i-1].ID, listed[i].ID)
+		}
+	}
+
+	// The cluster report: degraded, one healthy backend, per-backend rows.
+	var h Health
+	if err := tc.client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Healthy != 1 || h.Shards != 2 {
+		t.Fatalf("cluster health = %+v, want degraded 1/2", h)
+	}
+	for _, row := range h.Backends {
+		if row.Shard == dead && (row.Healthy || row.Error == "") {
+			t.Fatalf("dead backend row = %+v, want unhealthy with error", row)
+		}
+		if row.Shard == alive && !row.Healthy {
+			t.Fatalf("healthy backend row = %+v", row)
+		}
+	}
+
+	// Reads on the dead shard: 502, not 500, and not a hang.
+	_, err = tc.client.Get(ctx, perShard[dead][0].ID)
+	if status, ok := service.ErrorStatus(err); !ok || status != http.StatusBadGateway {
+		t.Fatalf("get on dead shard = %v, want 502", err)
+	}
+	// Reads on the live shard keep working.
+	if _, err := tc.client.Get(ctx, perShard[alive][0].ID); err != nil {
+		t.Fatalf("get on healthy shard with the other down: %v", err)
+	}
+
+	// Submissions spill over to the healthy shard, whatever the hash said.
+	for seed := int64(100); seed < 106; seed++ {
+		job, err := tc.client.Submit(ctx, quickSpec(seed))
+		if err != nil {
+			t.Fatalf("submit with one backend down: %v", err)
+		}
+		if job.ID.Shard != alive {
+			t.Fatalf("submission landed on dead shard %d", job.ID.Shard)
+		}
+	}
+}
+
+// TestRouterAllBackendsDown: a fleet-wide outage yields 503s, not hangs or
+// panics, and /v1/cluster reports status "down".
+func TestRouterAllBackendsDown(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tc.backends[0].Close()
+	tc.backends[1].Close()
+
+	if _, err := tc.client.Submit(ctx, quickSpec(1)); err == nil {
+		t.Fatal("submit with all backends down succeeded")
+	} else if status, ok := service.ErrorStatus(err); !ok || status != http.StatusServiceUnavailable {
+		t.Fatalf("submit with all backends down = %v, want 503", err)
+	}
+	if _, err := tc.client.List(ctx); err == nil {
+		t.Fatal("list with all backends down succeeded")
+	}
+	var h Health
+	if err := tc.client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "down" || h.Healthy != 0 {
+		t.Fatalf("cluster health = %+v, want down 0/2", h)
+	}
+}
+
+// TestRouterRejectsBadConfig: empty and duplicate backend lists fail fast.
+func TestRouterRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("router with no backends built")
+	}
+	if _, err := New(Config{Backends: []string{"http://a:1", "http://a:1/"}}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate backends = %v, want duplicate error", err)
+	}
+	if _, err := New(Config{Backends: []string{"http://a:1", "  "}}); err == nil {
+		t.Fatal("blank backend URL accepted")
+	}
+}
+
+// TestRouterMergeOrderingAcrossShards pins the merge comparator against
+// interleaved sequence numbers: shard 1's later jobs must not sort after
+// shard 2's earlier ones.
+func TestRouterMergeOrderingAcrossShards(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Submit directly to the backends so both shards have seqs 1..3.
+	for i, srv := range tc.backends {
+		c := &service.Client{Base: srv.URL}
+		for seed := int64(0); seed < 3; seed++ {
+			if _, err := c.Submit(ctx, quickSpec(int64(i)*10+seed)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	listed, err := tc.client.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, j := range listed {
+		got = append(got, j.ID.String())
+	}
+	want := []string{"s1-1", "s1-2", "s1-3", "s2-1", "s2-2", "s2-3"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+}
+
+// TestRouterHealthRecovers: a degraded backend that comes back is healed by
+// the next cluster probe, and placement uses it again.
+func TestRouterHealthRecovers(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Degrade shard 1 via a failed direct read; the backend itself stays up.
+	tc.router.backends[0].setDegraded(context.DeadlineExceeded)
+	var h Health
+	if err := tc.client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
+		t.Fatal(err)
+	}
+	// The live probe inside /v1/cluster reaches the (running) backend and
+	// heals it immediately.
+	if h.Status != "ok" || h.Healthy != 2 {
+		t.Fatalf("cluster health after recovery probe = %+v, want ok 2/2", h)
+	}
+}
+
+// TestRouterEmptyListIsJSONArray pins the wire contract: an empty cluster
+// lists as [], exactly like an empty daemon — not null.
+func TestRouterEmptyListIsJSONArray(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	resp, err := http.Get(tc.server.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	if _, err := io.Copy(&body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(body.String()); got != "[]" {
+		t.Fatalf("empty cluster list = %q, want []", got)
+	}
+}
+
+// TestRouterNegativeShardIsNotFound: a hand-built negative shard must
+// resolve to ErrUnknownShard, not an index panic.
+func TestRouterNegativeShardIsNotFound(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := tc.router.Get(ctx, service.JobID{Shard: -1, Seq: 5}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("Get(shard -1) = %v, want ErrUnknownShard", err)
+	}
+	if _, err := tc.router.Cancel(ctx, service.JobID{Shard: -3, Seq: 1}); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("Cancel(shard -3) = %v, want ErrUnknownShard", err)
+	}
+}

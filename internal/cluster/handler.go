@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hypersolve/internal/service"
+)
+
+// NewHandler wraps a router in the solve service's HTTP JSON surface, so a
+// hypersolved process in router mode serves the same API as a single
+// daemon — plus the cluster report:
+//
+//	POST   /v1/jobs      submit a JobSpec  → 202 Job with a sharded ID (s2-17)
+//	GET    /v1/jobs      union of all shards' jobs, merged sorted by ID
+//	GET    /v1/jobs/{id} fetch one job, routed by the ID's shard prefix
+//	DELETE /v1/jobs/{id} cancel a job, routed by the ID's shard prefix
+//	GET    /healthz      router liveness (the process itself)
+//	GET    /v1/cluster   per-backend reachability, queue depth, job counts
+//
+// Error semantics mirror the daemon handler ({"error": "..."} bodies). A
+// backend's own HTTP verdict (404, 409, 429, 400, …) is relayed verbatim;
+// a transport-level failure reaching a shard is a 502, and no reachable
+// backend at all is a 503. A partial fan-out listing (some shards down)
+// still succeeds with the X-Cluster-Partial: true header set.
+func NewHandler(r *Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
+		// Shared with the daemon handler: same 64 MiB bound, same
+		// unknown-field rejection, same 400/413 semantics.
+		spec, ok := service.ReadJobSpec(w, req)
+		if !ok {
+			return
+		}
+		job, err := r.Submit(req.Context(), spec)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
+		states, err := service.StatesFromQuery(req)
+		if err != nil {
+			service.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs, complete, err := r.List(req.Context(), states...)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		if !complete {
+			w.Header().Set("X-Cluster-Partial", "true")
+		}
+		service.WriteJSON(w, http.StatusOK, jobs)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		id, ok := routerPathID(w, req)
+		if !ok {
+			return
+		}
+		job, err := r.Get(req.Context(), id)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		id, ok := routerPathID(w, req)
+		if !ok {
+			return
+		}
+		job, err := r.Cancel(req.Context(), id)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		// The router's own liveness; fleet health lives at /v1/cluster.
+		service.WriteJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"role":   "router",
+			"shards": r.Shards(),
+		})
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {
+		service.WriteJSON(w, http.StatusOK, r.Health(req.Context()))
+	})
+	return mux
+}
+
+// routerPathID parses the {id} path segment, requiring the shard prefix.
+func routerPathID(w http.ResponseWriter, req *http.Request) (service.JobID, bool) {
+	id, err := service.ParseJobID(req.PathValue("id"))
+	if err == nil && !id.Sharded() {
+		err = fmt.Errorf("%w: %q", ErrUnsharded, id)
+	}
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, err)
+		return service.JobID{}, false
+	}
+	return id, true
+}
+
+// writeRouteError maps a routing failure onto the API's status codes: a
+// backend's own HTTP verdict is relayed verbatim, an unknown shard is a
+// 404, a fleet-wide outage a 503, and a single unreachable shard a 502.
+func writeRouteError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnsharded):
+		service.WriteError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrUnknownShard):
+		service.WriteError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNoBackends):
+		service.WriteError(w, http.StatusServiceUnavailable, err)
+	default:
+		if status, spoke := service.ErrorStatus(err); spoke {
+			service.WriteError(w, status, err)
+			return
+		}
+		service.WriteError(w, http.StatusBadGateway, fmt.Errorf("cluster: backend unreachable: %w", err))
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 )
 
@@ -17,10 +16,11 @@ type Health struct {
 	Jobs       map[State]int `json:"jobs"`
 }
 
-// maxSpecBytes bounds a submitted job spec (the CNF text dominates; 64 MiB
+// MaxSpecBytes bounds a submitted job spec (the CNF text dominates; 64 MiB
 // covers every SATLIB-scale instance with two orders of magnitude to
-// spare).
-const maxSpecBytes = 64 << 20
+// spare). Oversized bodies are rejected with HTTP 413; the cluster router
+// applies the same bound.
+const MaxSpecBytes = 64 << 20
 
 // NewHandler wraps a service in its HTTP JSON surface:
 //
@@ -37,43 +37,24 @@ const maxSpecBytes = 64 << 20
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec JobSpec
-		// Bound the request body: admission control is pointless if one
-		// oversized spec can exhaust memory before it reaches the queue.
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			status := http.StatusBadRequest
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeError(w, status, fmt.Errorf("decoding job spec: %w", err))
+		spec, ok := ReadJobSpec(w, r)
+		if !ok {
 			return
 		}
 		job, err := s.Submit(spec)
 		if err != nil {
-			writeError(w, submitStatus(err), err)
+			WriteError(w, submitStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, job)
+		WriteJSON(w, http.StatusAccepted, job)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		var states []State
-		for _, raw := range r.URL.Query()["state"] {
-			for _, name := range strings.Split(raw, ",") {
-				if name == "" {
-					continue
-				}
-				st, err := ParseState(name)
-				if err != nil {
-					writeError(w, http.StatusBadRequest, err)
-					return
-				}
-				states = append(states, st)
-			}
+		states, err := StatesFromQuery(r)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, s.List(states...))
+		WriteJSON(w, http.StatusOK, s.List(states...))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
@@ -82,10 +63,10 @@ func NewHandler(s *Service) http.Handler {
 		}
 		job, found := s.Get(id)
 		if !found {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			WriteError(w, http.StatusNotFound, ErrNotFound)
 			return
 		}
-		writeJSON(w, http.StatusOK, job)
+		WriteJSON(w, http.StatusOK, job)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
@@ -95,18 +76,18 @@ func NewHandler(s *Service) http.Handler {
 		job, err := s.Cancel(id)
 		switch {
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, err)
+			WriteError(w, http.StatusNotFound, err)
 		case errors.Is(err, ErrFinished):
-			writeError(w, http.StatusConflict, err)
+			WriteError(w, http.StatusConflict, err)
 		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
+			WriteError(w, http.StatusInternalServerError, err)
 		default:
-			writeJSON(w, http.StatusOK, job)
+			WriteJSON(w, http.StatusOK, job)
 		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		depth, workers := s.Queue()
-		writeJSON(w, http.StatusOK, Health{
+		WriteJSON(w, http.StatusOK, Health{
 			Status:     "ok",
 			QueueDepth: depth,
 			Workers:    workers,
@@ -114,6 +95,50 @@ func NewHandler(s *Service) http.Handler {
 		})
 	})
 	return mux
+}
+
+// ReadJobSpec decodes a JobSpec request body, bounded by MaxSpecBytes and
+// rejecting unknown fields. On failure it writes the API error response
+// itself (413 for oversized bodies, 400 otherwise) and reports !ok. The
+// daemon handler and the cluster router share it, so admission semantics
+// cannot diverge between serve and route modes.
+func ReadJobSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
+	var spec JobSpec
+	// Bound the request body: admission control is pointless if one
+	// oversized spec can exhaust memory before it reaches the queue.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		WriteError(w, status, fmt.Errorf("decoding job spec: %w", err))
+		return JobSpec{}, false
+	}
+	return spec, true
+}
+
+// StatesFromQuery parses the list filter's ?state= values, accepting
+// repeated and comma-separated forms (?state=done&state=failed,
+// ?state=queued,running). An unknown state name is an error (the
+// handlers' 400).
+func StatesFromQuery(r *http.Request) ([]State, error) {
+	var states []State
+	for _, raw := range r.URL.Query()["state"] {
+		for _, name := range strings.Split(raw, ",") {
+			if name == "" {
+				continue
+			}
+			st, err := ParseState(name)
+			if err != nil {
+				return nil, err
+			}
+			states = append(states, st)
+		}
+	}
+	return states, nil
 }
 
 func submitStatus(err error) int {
@@ -129,16 +154,26 @@ func submitStatus(err error) int {
 	}
 }
 
+// pathID parses the {id} path segment. A single daemon owns bare sequence
+// numbers only; a shard-prefixed ID ("s2-17") addressed to it is a routing
+// mistake and is rejected rather than silently resolved to some other job.
 func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	id, err := ParseJobID(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		WriteError(w, http.StatusBadRequest, err)
 		return 0, false
 	}
-	return id, true
+	if id.Sharded() {
+		WriteError(w, http.StatusBadRequest,
+			fmt.Errorf("service: sharded job id %q addressed to a single daemon (send it to the cluster router)", id))
+		return 0, false
+	}
+	return id.Seq, true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as an indented JSON response body under the given
+// status code (shared by the daemon handler and the cluster router).
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -146,6 +181,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to salvage
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// WriteError writes err as the API's {"error": "..."} payload.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, map[string]string{"error": err.Error()})
 }

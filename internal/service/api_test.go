@@ -169,10 +169,10 @@ func TestHTTPErrors(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	if _, err := client.Get(ctx, 999); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := client.Get(ctx, JobID{Seq: 999}); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("get unknown job: %v, want 404", err)
 	}
-	if _, err := client.Cancel(ctx, 999); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := client.Cancel(ctx, JobID{Seq: 999}); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("cancel unknown job: %v, want 404", err)
 	}
 	if _, err := client.Submit(ctx, JobSpec{Kind: "nope"}); err == nil || !strings.Contains(err.Error(), "400") {

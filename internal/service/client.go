@@ -88,6 +88,19 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
 }
 
+// ErrorStatus returns the HTTP status code carried by a server-side error
+// (a non-2xx response decoded by the client) and true, or 0 and false for
+// transport-level failures that never produced a status line. The cluster
+// router uses the distinction to relay backend verdicts verbatim while
+// treating transport failures as a degraded backend.
+func ErrorStatus(err error) (int, bool) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.StatusCode, true
+	}
+	return 0, false
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -163,11 +176,19 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Get fetches one job.
-func (c *Client) Get(ctx context.Context, id int64) (Job, error) {
+// Get fetches one job. Sharded IDs ("s2-17") work against a cluster
+// router; bare sequence IDs against a single daemon.
+func (c *Client) Get(ctx context.Context, id JobID) (Job, error) {
 	var job Job
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &job)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id.String(), nil, &job)
 	return job, err
+}
+
+// GetJSON performs a GET against an arbitrary API path and decodes the
+// response into out — the escape hatch for endpoints the typed methods do
+// not cover (hyperctl uses it for the router's /v1/cluster report).
+func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
 // List fetches jobs, optionally filtered to the given states (no states =
@@ -187,9 +208,9 @@ func (c *Client) List(ctx context.Context, states ...State) ([]Job, error) {
 }
 
 // Cancel stops a queued or running job.
-func (c *Client) Cancel(ctx context.Context, id int64) (Job, error) {
+func (c *Client) Cancel(ctx context.Context, id JobID) (Job, error) {
 	var job Job
-	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/jobs/%d", id), nil, &job)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id.String(), nil, &job)
 	return job, err
 }
 
@@ -208,7 +229,7 @@ const waitMaxInterval = 2 * time.Second
 // returning the final record. The poll interval starts at initial (default
 // 100ms) and backs off gently — ×1.5 per poll, capped at 2s (or at initial,
 // if larger) — so waiting on a long solve doesn't hammer the daemon.
-func (c *Client) Wait(ctx context.Context, id int64, initial time.Duration) (Job, error) {
+func (c *Client) Wait(ctx context.Context, id JobID, initial time.Duration) (Job, error) {
 	if initial <= 0 {
 		initial = 100 * time.Millisecond
 	}

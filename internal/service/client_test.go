@@ -40,7 +40,7 @@ func TestSubmitRetriesOn429(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Submit after transient 429s: %v", err)
 	}
-	if job.ID != 7 {
+	if job.ID != (JobID{Seq: 7}) {
 		t.Fatalf("job = %+v, want ID 7", job)
 	}
 	if got := posts.Load(); got != 3 {
@@ -125,7 +125,7 @@ func TestWaitBacksOffOverHTTP(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := &Client{Base: srv.URL}
-	job, err := c.Wait(context.Background(), 1, time.Millisecond)
+	job, err := c.Wait(context.Background(), JobID{Seq: 1}, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

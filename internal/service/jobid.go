@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// JobID identifies a job on the wire. A single daemon numbers its jobs with
+// a bare monotonic sequence (Seq), which marshals as the plain JSON number
+// the v1 API has always used. A cluster router fronting several daemons
+// prefixes the sequence with the 1-based shard that owns the job — "s2-17"
+// is job 17 on shard 2 — so a sharded ID routes directly to its backend
+// without a lookup. Shard 0 means unsharded.
+//
+// Both forms round-trip through String/ParseJobID and through JSON, so
+// Client (and hyperctl) work unchanged against either a daemon or a router.
+type JobID struct {
+	// Shard is the 1-based shard number assigned by a cluster router;
+	// 0 on a single daemon.
+	Shard int
+	// Seq is the job's monotonic sequence number within its daemon.
+	Seq int64
+}
+
+// Sharded reports whether the ID carries a router shard prefix.
+func (id JobID) Sharded() bool { return id.Shard != 0 }
+
+// String renders the wire form: "17" unsharded, "s2-17" sharded.
+func (id JobID) String() string {
+	if !id.Sharded() {
+		return strconv.FormatInt(id.Seq, 10)
+	}
+	return fmt.Sprintf("s%d-%d", id.Shard, id.Seq)
+}
+
+// Less orders IDs by shard, then sequence — the merge order of a router's
+// fanned-out List.
+func (id JobID) Less(other JobID) bool {
+	if id.Shard != other.Shard {
+		return id.Shard < other.Shard
+	}
+	return id.Seq < other.Seq
+}
+
+// MarshalJSON emits a plain number for unsharded IDs (wire-compatible with
+// the pre-cluster API) and a quoted "s2-17" for sharded ones.
+func (id JobID) MarshalJSON() ([]byte, error) {
+	if !id.Sharded() {
+		return []byte(strconv.FormatInt(id.Seq, 10)), nil
+	}
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts both wire forms: a JSON number, or a string holding
+// either form ("17" or "s2-17").
+func (id *JobID) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		parsed, err := ParseJobID(s[1 : len(s)-1])
+		if err != nil {
+			return err
+		}
+		*id = parsed
+		return nil
+	}
+	seq, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("service: bad job id %s", s)
+	}
+	*id = JobID{Seq: seq}
+	return nil
+}
+
+// ParseJobID parses either wire form: a bare sequence number ("17") or a
+// shard-prefixed cluster ID ("s2-17", shard numbers start at 1).
+func ParseJobID(s string) (JobID, error) {
+	bad := func() (JobID, error) {
+		return JobID{}, fmt.Errorf("service: bad job id %q (want a number like 17, or s<shard>-<seq> like s2-17)", s)
+	}
+	if rest, ok := strings.CutPrefix(s, "s"); ok {
+		shardStr, seqStr, found := strings.Cut(rest, "-")
+		if !found {
+			return bad()
+		}
+		shard, err := strconv.Atoi(shardStr)
+		if err != nil || shard < 1 {
+			return bad()
+		}
+		seq, err := strconv.ParseInt(seqStr, 10, 64)
+		if err != nil || seq < 0 {
+			return bad()
+		}
+		return JobID{Shard: shard, Seq: seq}, nil
+	}
+	seq, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return bad()
+	}
+	return JobID{Seq: seq}, nil
+}

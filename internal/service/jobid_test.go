@@ -1,0 +1,84 @@
+package service
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestJobIDRoundTripProperty: for arbitrary shard/seq pairs, String →
+// ParseJobID and MarshalJSON → UnmarshalJSON are identities.
+func TestJobIDRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		id := JobID{Seq: rng.Int63()}
+		if rng.Intn(2) == 0 {
+			id.Shard = 1 + rng.Intn(1<<16)
+		}
+
+		parsed, err := ParseJobID(id.String())
+		if err != nil {
+			t.Fatalf("ParseJobID(%q): %v", id.String(), err)
+		}
+		if parsed != id {
+			t.Fatalf("String/Parse round trip: %+v -> %q -> %+v", id, id.String(), parsed)
+		}
+
+		data, err := json.Marshal(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JobID
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", data, err)
+		}
+		if back != id {
+			t.Fatalf("JSON round trip: %+v -> %s -> %+v", id, data, back)
+		}
+
+		// Unsharded IDs stay wire-compatible with the pre-cluster API:
+		// a plain JSON number, not a string.
+		if !id.Sharded() && data[0] == '"' {
+			t.Fatalf("unsharded ID marshalled as string: %s", data)
+		}
+	}
+}
+
+func TestParseJobIDForms(t *testing.T) {
+	good := map[string]JobID{
+		"17":     {Seq: 17},
+		"0":      {},
+		"s1-0":   {Shard: 1, Seq: 0},
+		"s2-17":  {Shard: 2, Seq: 17},
+		"s10-99": {Shard: 10, Seq: 99},
+	}
+	for in, want := range good {
+		got, err := ParseJobID(in)
+		if err != nil || got != want {
+			t.Errorf("ParseJobID(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "s-1", "s0-3", "s2-", "s2--4", "sx-1", "s2-1x", "2-17", "s2.17", "nope"} {
+		if got, err := ParseJobID(in); err == nil {
+			t.Errorf("ParseJobID(%q) = %+v, want error", in, got)
+		}
+	}
+}
+
+func TestJobIDLessOrdersByShardThenSeq(t *testing.T) {
+	ordered := []JobID{
+		{Seq: 1}, {Seq: 2},
+		{Shard: 1, Seq: 9}, {Shard: 2, Seq: 1}, {Shard: 2, Seq: 3}, {Shard: 3, Seq: 1},
+	}
+	for i := 0; i < len(ordered)-1; i++ {
+		if !ordered[i].Less(ordered[i+1]) {
+			t.Errorf("%v should sort before %v", ordered[i], ordered[i+1])
+		}
+		if ordered[i+1].Less(ordered[i]) {
+			t.Errorf("%v should not sort before %v", ordered[i+1], ordered[i])
+		}
+	}
+	if (JobID{Seq: 5}).Less(JobID{Seq: 5}) {
+		t.Error("Less must be irreflexive")
+	}
+}

@@ -99,7 +99,7 @@ func TestRecoveryRestoresHistoryAndQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	finished := waitState(t, s1, doneJob.ID, StateDone, 10*time.Second)
+	finished := waitState(t, s1, doneJob.ID.Seq, StateDone, 10*time.Second)
 	s1.Close()
 
 	// Stage a queued job the way a crash would leave it: appended to the
@@ -121,7 +121,7 @@ func TestRecoveryRestoresHistoryAndQueue(t *testing.T) {
 	defer s2.Close()
 
 	// History: the done job is still there, result intact.
-	got, ok := s2.Get(doneJob.ID)
+	got, ok := s2.Get(doneJob.ID.Seq)
 	if !ok || got.State != StateDone || got.Result == nil {
 		t.Fatalf("restored done job = %+v", got)
 	}
@@ -166,12 +166,12 @@ func TestRecoveredHistorySurvivesJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitState(t, s1, job.ID, StateDone, 10*time.Second)
+	waitState(t, s1, job.ID.Seq, StateDone, 10*time.Second)
 	s1.Close()
 
 	s2 := New(Config{QueueDepth: 4, Workers: 1, Store: openStore(t, dir)})
 	defer s2.Close()
-	got, _ := s2.Get(job.ID)
+	got, _ := s2.Get(job.ID.Seq)
 	data, err := json.Marshal(got)
 	if err != nil {
 		t.Fatal(err)

@@ -71,7 +71,10 @@ type JobResult struct {
 // records decoded from the store; the service hands out copies, never
 // aliases.
 type Job struct {
-	ID    int64   `json:"id"`
+	// ID is the job's wire identifier: a bare sequence number on a single
+	// daemon, shard-prefixed ("s2-17") when the job is served through a
+	// cluster router.
+	ID    JobID   `json:"id"`
 	Spec  JobSpec `json:"spec"`
 	State State   `json:"state"`
 
@@ -277,7 +280,7 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 // in-process raw result when one exists. Callers hold s.mu.
 func (s *Service) jobFromStore(sj store.Job) Job {
 	j := Job{
-		ID:          sj.ID,
+		ID:          JobID{Seq: sj.ID},
 		State:       sj.State,
 		SubmittedAt: sj.SubmittedAt,
 		StartedAt:   sj.StartedAt,

@@ -81,10 +81,10 @@ func TestSubmitRunsToDone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if job.ID != 1 || job.State != StateQueued {
+		if job.ID.Seq != 1 || job.State != StateQueued {
 			t.Fatalf("submitted job = %+v, want ID 1 queued", job)
 		}
-		done := waitState(t, s, job.ID, StateDone, 10*time.Second)
+		done := waitState(t, s, job.ID.Seq, StateDone, 10*time.Second)
 		if done.Result == nil || !done.Result.OK {
 			t.Fatalf("result = %+v, want OK", done.Result)
 		}
@@ -104,8 +104,8 @@ func TestMonotonicIDs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if job.ID != want {
-				t.Fatalf("job ID = %d, want %d", job.ID, want)
+			if job.ID.Seq != want {
+				t.Fatalf("job ID = %d, want %d", job.ID.Seq, want)
 			}
 		}
 	})
@@ -141,7 +141,7 @@ func TestQueueBackpressure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateRunning, 10*time.Second)
 
 		// The worker is occupied: the next QueueDepth submissions park in the
 		// queue, and one more must bounce.
@@ -156,10 +156,10 @@ func TestQueueBackpressure(t *testing.T) {
 
 		// Cancelling the slow job frees the worker; the parked jobs drain and
 		// admission opens again.
-		if _, err := s.Cancel(slow.ID); err != nil {
+		if _, err := s.Cancel(slow.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateCancelled, 10*time.Second)
 		deadline := time.Now().Add(10 * time.Second)
 		for {
 			if _, err := s.Submit(quickSpec()); err == nil {
@@ -181,30 +181,30 @@ func TestCancelWhileQueued(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateRunning, 10*time.Second)
 		queued, err := s.Submit(quickSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		// Cancel the parked job: the transition is immediate, no worker runs it.
-		got, err := s.Cancel(queued.ID)
+		got, err := s.Cancel(queued.ID.Seq)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got.State != StateCancelled {
 			t.Fatalf("cancel-while-queued state = %s, want cancelled", got.State)
 		}
-		if _, err := s.Cancel(queued.ID); !errors.Is(err, ErrFinished) {
+		if _, err := s.Cancel(queued.ID.Seq); !errors.Is(err, ErrFinished) {
 			t.Fatalf("double cancel returned %v, want ErrFinished", err)
 		}
 
 		// Unblock the worker and check the cancelled job never ran.
-		if _, err := s.Cancel(slow.ID); err != nil {
+		if _, err := s.Cancel(slow.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
-		j, _ := s.Get(queued.ID)
+		waitState(t, s, slow.ID.Seq, StateCancelled, 10*time.Second)
+		j, _ := s.Get(queued.ID.Seq)
 		if j.State != StateCancelled || j.Result != nil {
 			t.Fatalf("cancelled-while-queued job = %+v, want cancelled with no result", j)
 		}
@@ -217,14 +217,14 @@ func TestCancelWhileRunning(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, job.ID, StateRunning, 10*time.Second)
-		if _, err := s.Cancel(job.ID); err != nil {
+		waitState(t, s, job.ID.Seq, StateRunning, 10*time.Second)
+		if _, err := s.Cancel(job.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
 		// The simulator polls its context every CancelSliceSteps; at ~10M
 		// steps/second one slice is far below a millisecond, so seconds of
 		// grace means any failure here is a lost cancellation, not jitter.
-		got := waitState(t, s, job.ID, StateCancelled, 10*time.Second)
+		got := waitState(t, s, job.ID.Seq, StateCancelled, 10*time.Second)
 		if got.Result != nil {
 			t.Fatalf("cancelled job carries a result: %+v", got.Result)
 		}
@@ -242,7 +242,7 @@ func TestDeadlineFailsJob(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := waitState(t, s, job.ID, StateFailed, 10*time.Second)
+		got := waitState(t, s, job.ID.Seq, StateFailed, 10*time.Second)
 		if !strings.Contains(got.Error, "deadline") {
 			t.Fatalf("deadline failure error = %q, want mention of the deadline", got.Error)
 		}
@@ -255,13 +255,13 @@ func TestCloseCancelsOutstanding(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateRunning, 10*time.Second)
 		queued, err := s.Submit(quickSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
 		s.Close() // joins workers: both jobs must be terminal afterwards
-		for _, id := range []int64{slow.ID, queued.ID} {
+		for _, id := range []int64{slow.ID.Seq, queued.ID.Seq} {
 			j, _ := s.Get(id)
 			if j.State != StateCancelled {
 				t.Errorf("job %d after Close: %s, want cancelled", id, j.State)
@@ -311,7 +311,7 @@ func TestServiceMatchesSerialRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		done := waitState(t, s, job.ID, StateDone, 30*time.Second)
+		done := waitState(t, s, job.ID.Seq, StateDone, 30*time.Second)
 		if done.Raw() == nil {
 			t.Fatal("done job has no raw result")
 		}
@@ -343,7 +343,7 @@ func TestConcurrentJobsAllComplete(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ids = append(ids, job.ID)
+			ids = append(ids, job.ID.Seq)
 		}
 		for _, id := range ids {
 			j := waitState(t, s, id, StateDone, 30*time.Second)
@@ -366,7 +366,7 @@ func TestCancelQueuedFreesSlot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateRunning, 10*time.Second)
 		parked, err := s.Submit(quickSpec())
 		if err != nil {
 			t.Fatal(err)
@@ -374,14 +374,14 @@ func TestCancelQueuedFreesSlot(t *testing.T) {
 		if _, err := s.Submit(quickSpec()); !errors.Is(err, ErrQueueFull) {
 			t.Fatalf("queue should be full, got %v", err)
 		}
-		if _, err := s.Cancel(parked.ID); err != nil {
+		if _, err := s.Cancel(parked.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
 		// The slot is free right now — no worker progress was needed.
 		if _, err := s.Submit(quickSpec()); err != nil {
 			t.Fatalf("submit after cancelling the queued job: %v", err)
 		}
-		if _, err := s.Cancel(slow.ID); err != nil {
+		if _, err := s.Cancel(slow.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -397,8 +397,8 @@ func TestHistoryEviction(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ids = append(ids, job.ID)
-			waitState(t, s, job.ID, StateDone, 10*time.Second)
+			ids = append(ids, job.ID.Seq)
+			waitState(t, s, job.ID.Seq, StateDone, 10*time.Second)
 		}
 		for _, id := range ids[:2] {
 			if _, ok := s.Get(id); ok {
@@ -426,22 +426,22 @@ func TestListStateFilter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, done.ID, StateDone, 10*time.Second)
+		waitState(t, s, done.ID.Seq, StateDone, 10*time.Second)
 		slow, err := s.Submit(slowSpec())
 		if err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateRunning, 10*time.Second)
-		if _, err := s.Cancel(slow.ID); err != nil {
+		waitState(t, s, slow.ID.Seq, StateRunning, 10*time.Second)
+		if _, err := s.Cancel(slow.ID.Seq); err != nil {
 			t.Fatal(err)
 		}
-		waitState(t, s, slow.ID, StateCancelled, 10*time.Second)
+		waitState(t, s, slow.ID.Seq, StateCancelled, 10*time.Second)
 
-		if got := s.List(StateDone); len(got) != 1 || got[0].ID != done.ID {
-			t.Fatalf("List(done) = %+v, want exactly job %d", got, done.ID)
+		if got := s.List(StateDone); len(got) != 1 || got[0].ID.Seq != done.ID.Seq {
+			t.Fatalf("List(done) = %+v, want exactly job %d", got, done.ID.Seq)
 		}
-		if got := s.List(StateCancelled); len(got) != 1 || got[0].ID != slow.ID {
-			t.Fatalf("List(cancelled) = %+v, want exactly job %d", got, slow.ID)
+		if got := s.List(StateCancelled); len(got) != 1 || got[0].ID.Seq != slow.ID.Seq {
+			t.Fatalf("List(cancelled) = %+v, want exactly job %d", got, slow.ID.Seq)
 		}
 		if got := s.List(StateDone, StateCancelled); len(got) != 2 {
 			t.Fatalf("List(done, cancelled) returned %d jobs, want 2", len(got))

@@ -1,12 +1,16 @@
 // Package service turns the one-shot solver library into a long-lived,
 // multi-tenant solve backend: a typed JobSpec describes a problem and the
-// machine to run it on, an in-memory store tracks jobs through the
-// queued → running → done/failed/cancelled lifecycle, a bounded FIFO
-// admission queue feeds a worker pool built on internal/parallel, and every
-// running job is cancellable (and deadline-bounded) through the stack's
-// context-aware core.RunContext. The HTTP surface in api.go exposes the
-// service as a stdlib net/http JSON API, and client.go is the matching Go
-// client used by cmd/hyperctl and the end-to-end tests.
+// machine to run it on, a pluggable store (internal/store: in-memory or
+// durable WAL-journaled) tracks jobs through the queued → running →
+// done/failed/cancelled lifecycle, a bounded FIFO admission queue feeds a
+// worker pool built on internal/parallel, and every running job is
+// cancellable (and deadline-bounded) through the stack's context-aware
+// core.RunContext. The HTTP surface in api.go exposes the service as a
+// stdlib net/http JSON API, and client.go is the matching Go client used
+// by cmd/hyperctl, the cluster router (internal/cluster, as its
+// inter-daemon transport) and the end-to-end tests. Job identity is a
+// JobID: a bare sequence number on one daemon, shard-prefixed ("s2-17")
+// when fronted by a router. docs/API.md documents the wire surface.
 package service
 
 import (

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,11 +12,13 @@ import (
 )
 
 // File names inside a File store's directory: the write-ahead journal, the
-// compacted snapshot, and the advisory lock guarding single-daemon access.
+// rotated journal a background compaction is absorbing, the compacted
+// snapshot, and the advisory lock guarding single-daemon access.
 const (
-	JournalName  = "journal.jsonl"
-	SnapshotName = "snapshot.json"
-	LockName     = "store.lock"
+	JournalName     = "journal.jsonl"
+	JournalPrevName = "journal.prev.jsonl"
+	SnapshotName    = "snapshot.json"
+	LockName        = "store.lock"
 )
 
 // DefaultSnapshotEvery is the journal length (in records) that triggers a
@@ -40,29 +43,42 @@ type FileConfig struct {
 
 // File is the durable backend: a Memory view kept in lockstep with an
 // append-only JSONL write-ahead journal. One record is appended per job
-// transition (submit/start/finish); every SnapshotEvery records the full
-// view is written to SnapshotName via a tmp-file rename and the journal is
-// truncated, so the log never grows without bound. Open replays
-// snapshot + journal, tolerating a torn trailing record, and re-queues jobs
-// that were running at crash time.
-//
-// Compaction is synchronous: the transition that trips SnapshotEvery
-// absorbs the snapshot write (marshal + fsync + rename + dir sync),
-// stalling concurrent mutations for that window. The cost is bounded by
-// History × record size; deployments with large histories should raise
-// SnapshotEvery (or shrink History) until a background compactor lands.
+// transition (submit/start/finish); every SnapshotEvery records the
+// journal is rotated aside and a background goroutine writes the full view
+// to SnapshotName (tmp-file + fsync + rename + dir sync), then deletes the
+// rotated journal — so the log never grows without bound and the
+// transition that trips the threshold pays only a rename, not the
+// snapshot write. Open replays snapshot + rotated journal + journal,
+// tolerating a torn trailing record, and re-queues jobs that were running
+// at crash time; every replay step is idempotent, so a crash anywhere in
+// the compaction pipeline converges to the same state.
 type File struct {
 	cfg FileConfig
 	mem *Memory
 
-	// mu serialises mutations (journal appends, compaction, close); reads
-	// go straight to the Memory view under its own lock.
+	// mu serialises mutations (journal appends, rotation, close); reads go
+	// straight to the Memory view under its own lock, so they are never
+	// blocked by an in-flight compaction.
 	mu      sync.Mutex
+	idle    *sync.Cond // signalled when a background compaction finishes
 	journal *os.File
 	lock    *os.File // flock'd LockName handle; kernel-released on death
 	recs    int      // records in the current journal, drives compaction
-	closed  bool
+
+	// compacting marks a background compaction in flight; retryInline
+	// marks that the last one failed (the rotated journal still exists),
+	// so the next trigger compacts synchronously instead of rotating
+	// again. compactErr carries the failure to that retry's caller.
+	compacting  bool
+	retryInline bool
+	compactErr  error
+	closed      bool
 }
+
+// testHookCompacting, when set, is called by the background compactor
+// before it writes the snapshot — tests use it to hold a compaction open
+// while asserting that transitions do not block behind it.
+var testHookCompacting func()
 
 // rec is one journal line.
 type rec struct {
@@ -83,11 +99,13 @@ type snapshot struct {
 }
 
 // Open loads (or creates) a durable store in cfg.Dir. Recovery is
-// crash-tolerant in two ways: a truncated or corrupt trailing journal line
-// (a torn write) is discarded, and records already reflected in the
-// snapshot (the compaction window between snapshot rename and journal
-// truncation) replay as no-ops. Jobs left queued or running by the previous
-// process come back queued, ready for the service to re-admit.
+// crash-tolerant in three ways: a truncated or corrupt trailing journal
+// line (a torn write) is discarded, records already reflected in the
+// snapshot (the windows inside the compaction pipeline) replay as no-ops,
+// and a rotated journal left by a compaction that never finished is
+// replayed before the live journal and folded into a fresh snapshot. Jobs
+// left queued or running by the previous process come back queued, ready
+// for the service to re-admit.
 func Open(cfg FileConfig) (*File, error) {
 	if cfg.History <= 0 {
 		cfg.History = DefaultHistory
@@ -103,6 +121,7 @@ func Open(cfg FileConfig) (*File, error) {
 		return nil, err
 	}
 	f := &File{cfg: cfg, mem: NewMemory(cfg.History), lock: lock}
+	f.idle = sync.NewCond(&f.mu)
 	fail := func(err error) (*File, error) {
 		if lock != nil {
 			lock.Close()
@@ -120,7 +139,14 @@ func Open(cfg FileConfig) (*File, error) {
 		return fail(fmt.Errorf("store: %w", err))
 	}
 
-	good, applied, err := f.replay()
+	// A rotated journal on disk means the previous process died (or
+	// errored) mid-compaction: its records precede the live journal's and
+	// may or may not be in the snapshot — idempotent replay covers both.
+	_, prevRecs, err := f.replay(JournalPrevName)
+	if err != nil {
+		return fail(err)
+	}
+	good, applied, err := f.replay(JournalName)
 	if err != nil {
 		return fail(err)
 	}
@@ -139,8 +165,11 @@ func Open(cfg FileConfig) (*File, error) {
 	}
 	f.journal = journal
 	f.recs = applied
-	if f.recs >= f.cfg.SnapshotEvery {
-		if err := f.compact(); err != nil {
+	if prevRecs > 0 || f.recs >= f.cfg.SnapshotEvery {
+		// Fold everything into a fresh snapshot now, synchronously: Open
+		// has no concurrent writers to stall, and it clears the rotated
+		// journal so the background path starts from a clean slate.
+		if err := f.compactInline(); err != nil {
 			journal.Close()
 			return fail(err)
 		}
@@ -148,11 +177,12 @@ func Open(cfg FileConfig) (*File, error) {
 	return f, nil
 }
 
-// replay applies the journal to the in-memory view, stopping at the first
-// incomplete or unparsable line. It returns the byte offset of the end of
-// the last good record and how many records were applied.
-func (f *File) replay() (good int64, applied int, err error) {
-	data, err := os.ReadFile(filepath.Join(f.cfg.Dir, JournalName))
+// replay applies one journal file to the in-memory view, stopping at the
+// first incomplete or unparsable line. It returns the byte offset of the
+// end of the last good record and how many records were applied; a missing
+// file is zero records.
+func (f *File) replay(name string) (good int64, applied int, err error) {
+	data, err := os.ReadFile(filepath.Join(f.cfg.Dir, name))
 	if os.IsNotExist(err) {
 		return 0, 0, nil
 	}
@@ -185,7 +215,9 @@ func (f *File) replay() (good int64, applied int, err error) {
 
 // append journals one record. The in-memory view has already been updated:
 // on a write error the view stays authoritative for this process and the
-// error reports the lost durability to the caller.
+// error reports the lost durability to the caller. Crossing the
+// SnapshotEvery threshold rotates the journal aside and hands the snapshot
+// write to a background goroutine; the append itself pays only the rename.
 func (f *File) append(r rec) error {
 	data, err := json.Marshal(r)
 	if err != nil {
@@ -200,23 +232,131 @@ func (f *File) append(r rec) error {
 		}
 	}
 	f.recs++
-	if f.recs >= f.cfg.SnapshotEvery {
-		return f.compact()
+	if f.recs < f.cfg.SnapshotEvery || f.compacting {
+		return nil
 	}
+	if f.retryInline {
+		// The last background compaction failed and its rotated journal is
+		// still on disk; a second rotation would orphan it. Pay the stall
+		// and fold everything synchronously. A successful retry heals the
+		// earlier failure (the fresh snapshot supersedes it), so only a
+		// renewed failure is surfaced to this transition.
+		f.retryInline = false
+		if err := f.compactInline(); err != nil {
+			f.retryInline = true
+			f.compactErr = errors.Join(f.compactErr, err)
+			return err
+		}
+		f.compactErr = nil
+		return nil
+	}
+	return f.rotateAndCompact()
+}
+
+// rotateAndCompact captures the view, rotates the live journal aside and
+// spawns the background snapshot write. Callers hold f.mu; the critical
+// section costs two renames, not a snapshot marshal.
+func (f *File) rotateAndCompact() error {
+	nextID, finished, jobs := f.mem.snapshotState()
+	dir := f.cfg.Dir
+	live := filepath.Join(dir, JournalName)
+	prev := filepath.Join(dir, JournalPrevName)
+	if err := os.Rename(live, prev); err != nil {
+		return fmt.Errorf("store: rotating journal: %w", err)
+	}
+	fresh, err := os.OpenFile(live, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Roll the rotation back so the store keeps appending to a journal
+		// that Open knows how to find.
+		if rerr := os.Rename(prev, live); rerr != nil {
+			return fmt.Errorf("store: rotation failed and could not be undone (%v): %w", rerr, err)
+		}
+		return fmt.Errorf("store: opening fresh journal: %w", err)
+	}
+	// Make the rename and the fresh journal's directory entry durable now:
+	// records fsynced into the fresh journal must not be orphaned by a
+	// power loss that forgets the rotation itself.
+	if err := syncDir(dir); err != nil {
+		fresh.Close()
+		if rerr := os.Rename(prev, live); rerr != nil {
+			return fmt.Errorf("store: rotation failed and could not be undone (%v): %w", rerr, err)
+		}
+		return err
+	}
+	rotated := f.journal
+	f.journal = fresh
+	f.recs = 0
+	f.compacting = true
+	go f.finishCompaction(rotated, snapshot{NextID: nextID, Finished: finished, Jobs: jobs})
 	return nil
 }
 
-// compact writes the full view to the snapshot via tmp-file + rename, syncs
-// the directory so the rename is durable, and truncates the journal. A
-// crash between rename and truncate leaves a stale journal whose records
-// replay as no-ops over the fresh snapshot.
-func (f *File) compact() error {
+// finishCompaction runs off the transition path: it settles the rotated
+// journal, writes the captured view as the new snapshot and deletes the
+// rotated journal. On failure the rotated journal stays behind — replay
+// remains correct — and the next threshold crossing retries inline.
+func (f *File) finishCompaction(rotated *os.File, snap snapshot) {
+	if testHookCompacting != nil {
+		testHookCompacting()
+	}
+	err := func() error {
+		// Settle the rotated journal first: the snapshot must never be the
+		// only durable copy of records the journal still owns.
+		if err := rotated.Sync(); err != nil {
+			rotated.Close()
+			return fmt.Errorf("store: syncing rotated journal: %w", err)
+		}
+		if err := rotated.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := writeSnapshot(f.cfg.Dir, snap); err != nil {
+			return err
+		}
+		if err := os.Remove(filepath.Join(f.cfg.Dir, JournalPrevName)); err != nil {
+			return fmt.Errorf("store: removing rotated journal: %w", err)
+		}
+		return syncDir(f.cfg.Dir)
+	}()
+
+	f.mu.Lock()
+	f.compacting = false
+	if err != nil {
+		f.retryInline = true
+		f.compactErr = err
+	}
+	f.idle.Broadcast()
+	f.mu.Unlock()
+}
+
+// compactInline writes the full current view to the snapshot and truncates
+// both journals, all under f.mu — the synchronous fallback used by Open
+// and by the retry path after a failed background compaction.
+func (f *File) compactInline() error {
 	nextID, finished, jobs := f.mem.snapshotState()
-	data, err := json.Marshal(snapshot{NextID: nextID, Finished: finished, Jobs: jobs})
+	if err := writeSnapshot(f.cfg.Dir, snapshot{NextID: nextID, Finished: finished, Jobs: jobs}); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(f.cfg.Dir, JournalPrevName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: removing rotated journal: %w", err)
+	}
+	if err := syncDir(f.cfg.Dir); err != nil {
+		return err
+	}
+	if err := f.journal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating journal: %w", err)
+	}
+	f.recs = 0
+	return nil
+}
+
+// writeSnapshot persists snap via tmp-file + fsync + rename + dir sync, so
+// a crash leaves either the old snapshot or the new one, never a torn mix.
+func writeSnapshot(dir string, snap snapshot) error {
+	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	path := filepath.Join(f.cfg.Dir, SnapshotName)
+	path := filepath.Join(dir, SnapshotName)
 	tmp := path + ".tmp"
 	w, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -234,14 +374,7 @@ func (f *File) compact() error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := syncDir(f.cfg.Dir); err != nil {
-		return err
-	}
-	if err := f.journal.Truncate(0); err != nil {
-		return fmt.Errorf("store: truncating journal: %w", err)
-	}
-	f.recs = 0
-	return nil
+	return syncDir(dir)
 }
 
 func syncDir(dir string) error {
@@ -256,6 +389,8 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// Submit implements Store: the admission is recorded in the view and
+// journaled; a failed journal append rolls the view back.
 func (f *File) Submit(spec json.RawMessage, at time.Time) (Job, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -279,6 +414,8 @@ func (f *File) Submit(spec json.RawMessage, at time.Time) (Job, error) {
 	return j, nil
 }
 
+// Start implements Store: the transition is recorded in the view and
+// journaled.
 func (f *File) Start(id int64, at time.Time) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -291,6 +428,8 @@ func (f *File) Start(id int64, at time.Time) error {
 	return f.append(rec{Op: "start", ID: id, At: at})
 }
 
+// Finish implements Store: the terminal transition (with error message
+// and result payload) is recorded in the view and journaled.
 func (f *File) Finish(id int64, state State, at time.Time, errMsg string, result json.RawMessage) ([]int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -304,29 +443,52 @@ func (f *File) Finish(id int64, state State, at time.Time, errMsg string, result
 	return evicted, f.append(rec{Op: "finish", ID: id, At: at, State: state, Error: errMsg, Result: result})
 }
 
+// Get implements Store, reading the in-memory view (never blocked by an
+// in-flight compaction).
 func (f *File) Get(id int64) (Job, bool) { return f.mem.Get(id) }
 
+// List implements Store, reading the in-memory view (never blocked by an
+// in-flight compaction).
 func (f *File) List(states ...State) []Job { return f.mem.List(states...) }
 
-// Close syncs and closes the journal and releases the directory lock. The
-// in-memory view stays readable (Get/List), matching the Memory backend
-// after a service shutdown.
+// barrier waits for any in-flight background compaction to settle — the
+// hook tests and Close use to observe a quiescent directory.
+func (f *File) barrier() {
+	f.mu.Lock()
+	for f.compacting {
+		f.idle.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Close waits out any in-flight compaction, then syncs and closes the
+// journal and releases the directory lock. The in-memory view stays
+// readable (Get/List), matching the Memory backend after a service
+// shutdown. A compaction failure that no transition has surfaced yet is
+// returned here.
 func (f *File) Close() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	for f.compacting {
+		f.idle.Wait()
+	}
 	if f.closed {
+		f.mu.Unlock()
 		return nil
 	}
 	f.closed = true
+	pending := f.compactErr
+	f.compactErr = nil
+	f.mu.Unlock()
+
 	if f.lock != nil {
 		defer f.lock.Close()
 	}
 	if err := f.journal.Sync(); err != nil {
 		f.journal.Close()
-		return fmt.Errorf("store: %w", err)
+		return errors.Join(pending, fmt.Errorf("store: %w", err))
 	}
 	if err := f.journal.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return errors.Join(pending, fmt.Errorf("store: %w", err))
 	}
-	return nil
+	return pending
 }

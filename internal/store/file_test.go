@@ -163,9 +163,15 @@ func TestSnapshotCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Compaction happens on a background goroutine; settle it before
+	// inspecting the directory.
+	s.barrier()
 	// 12 records written at SnapshotEvery=5: at least two compactions.
 	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err != nil {
 		t.Fatalf("no snapshot after 12 records: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, JournalPrevName)); !os.IsNotExist(err) {
+		t.Fatalf("rotated journal still present after compaction settled: %v", err)
 	}
 	info, err := os.Stat(filepath.Join(dir, JournalName))
 	if err != nil {
@@ -311,5 +317,127 @@ func TestTimesSurviveRoundTrip(t *testing.T) {
 	got, _ := recovered.Get(j.ID)
 	if !reflect.DeepEqual(got.SubmittedAt, now) {
 		t.Fatalf("SubmittedAt %#v != original %#v", got.SubmittedAt, now)
+	}
+}
+
+// TestTransitionDuringCompactionDoesNotBlock is the satellite acceptance
+// check for background compaction: while the compactor is held mid-write,
+// submit/start/finish transitions must still complete — the snapshot write
+// is off the journaling critical path.
+func TestTransitionDuringCompactionDoesNotBlock(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	testHookCompacting = func() { entered <- struct{}{}; <-hold }
+	t.Cleanup(func() { testHookCompacting = nil })
+
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{SnapshotEvery: 3})
+	j1, err := s.Submit(spec(1), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start(j1.ID, at(1))
+	if _, err := s.Finish(j1.ID, StateDone, at(2), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the compactor is now parked inside the snapshot write
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		j2, err := s.Submit(spec(2), at(3))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = s.Start(j2.ID, at(4))
+		if _, err := s.Finish(j2.ID, StateDone, at(5), "", nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("transitions blocked behind an in-flight compaction")
+	}
+	before := s.List()
+	close(hold)
+	s.barrier()
+
+	// Records appended during the compaction live in the fresh journal and
+	// survive a crash + replay alongside the snapshot.
+	recovered := reopen(t, s, dir, FileConfig{SnapshotEvery: 3})
+	if after := recovered.List(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("state diverged across compaction + reopen:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+}
+
+// TestRotatedJournalReplayedOnOpen covers the crash window after the
+// journal rotation but before the snapshot lands: the rotated journal's
+// records must replay (before the live journal's) and fold into a fresh
+// snapshot on the next Open.
+func TestRotatedJournalReplayedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{})
+	j1, err := s.Submit(spec(1), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start(j1.ID, at(1))
+	if _, err := s.Finish(j1.ID, StateDone, at(2), "", json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(2), at(3)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.List()
+	s.Close()
+
+	// Stage the crash layout by hand: the journal was rotated aside and the
+	// process died before the compactor wrote the snapshot. The live
+	// journal then received one more record — here, none (a fresh file).
+	if err := os.Rename(filepath.Join(dir, JournalName), filepath.Join(dir, JournalPrevName)); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := reopen(t, s, dir, FileConfig{})
+	if after := recovered.List(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("rotated journal not replayed:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	// Open folded everything into a fresh snapshot and cleared the rotated
+	// journal.
+	if _, err := os.Stat(filepath.Join(dir, JournalPrevName)); !os.IsNotExist(err) {
+		t.Fatalf("rotated journal survived recovery: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err != nil {
+		t.Fatalf("recovery wrote no snapshot: %v", err)
+	}
+	// IDs continue after the replayed high-water mark.
+	if j, err := recovered.Submit(spec(3), at(4)); err != nil || j.ID != 3 {
+		t.Fatalf("post-recovery submit = %+v, %v, want ID 3", j, err)
+	}
+}
+
+// TestBackgroundCompactionConvergesUnderLoad hammers a tiny SnapshotEvery
+// so rotations race transitions, then checks a reopen sees exactly the
+// live state.
+func TestBackgroundCompactionConvergesUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{SnapshotEvery: 2})
+	for i := 1; i <= 30; i++ {
+		j, err := s.Submit(spec(i), at(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Start(j.ID, at(i))
+		if _, err := s.Finish(j.ID, StateDone, at(i+1), "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.List()
+	s.barrier()
+	recovered := reopen(t, s, dir, FileConfig{SnapshotEvery: 2})
+	if after := recovered.List(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("state diverged under compaction load:\nbefore: %d jobs\nafter:  %d jobs", len(before), len(after))
 	}
 }

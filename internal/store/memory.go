@@ -27,6 +27,8 @@ func NewMemory(history int) *Memory {
 	return &Memory{history: history, jobs: make(map[int64]*Job)}
 }
 
+// Submit implements Store: it assigns the next monotonic ID and records
+// a new queued job.
 func (m *Memory) Submit(spec json.RawMessage, at time.Time) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -36,6 +38,7 @@ func (m *Memory) Submit(spec json.RawMessage, at time.Time) (Job, error) {
 	return *j, nil
 }
 
+// Start implements Store: it moves a queued job to running.
 func (m *Memory) Start(id int64, at time.Time) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -51,6 +54,8 @@ func (m *Memory) Start(id int64, at time.Time) error {
 	return nil
 }
 
+// Finish implements Store: it moves a non-terminal job to a terminal
+// state and returns any IDs evicted to respect the retention bound.
 func (m *Memory) Finish(id int64, state State, at time.Time, errMsg string, result json.RawMessage) ([]int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -82,6 +87,7 @@ func (m *Memory) finishLocked(id int64, state State, at time.Time, errMsg string
 	return evicted, nil
 }
 
+// Get implements Store: it returns a snapshot of one job.
 func (m *Memory) Get(id int64) (Job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -92,6 +98,8 @@ func (m *Memory) Get(id int64) (Job, bool) {
 	return *j, true
 }
 
+// List implements Store: it returns snapshots ordered by ID, optionally
+// filtered by state.
 func (m *Memory) List(states ...State) []Job {
 	m.mu.Lock()
 	out := make([]Job, 0, len(m.jobs))
@@ -105,6 +113,7 @@ func (m *Memory) List(states ...State) []Job {
 	return out
 }
 
+// Close implements Store; the in-memory backend holds no resources.
 func (m *Memory) Close() error { return nil }
 
 // --- replay hooks -----------------------------------------------------------
