@@ -2,7 +2,10 @@
 // machine-readable JSON report, giving successive PRs a comparable
 // performance trajectory. It measures five things:
 //
-//   - the raw layer-1 step loop (a message flood on a 32x32 torus),
+//   - the raw layer-1 step loop (a message flood on a 32x32 torus), bare
+//     and with a subscriber-less progress observer attached — the latter
+//     guards (hard-fails) the zero-added-allocations contract of the
+//     streaming-progress hot path,
 //   - one full five-layer SAT solve (the hot Figure 4 point: uf50-218 on the
 //     196-core 2D torus, round-robin mapping),
 //   - the sweep engine's wall-clock speedup: the quick Figure 4 sweep run
@@ -108,7 +111,18 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: layer-1 flood (32x32 torus)...")
-	rep.Benchmarks = append(rep.Benchmarks, runBench("sim_flood_torus32x32", benchFlood))
+	base := runBench("sim_flood_torus32x32", benchFlood)
+	rep.Benchmarks = append(rep.Benchmarks, base)
+	fmt.Fprintln(os.Stderr, "bench: layer-1 flood with progress observer, no subscribers...")
+	observed := runBench("sim_flood_torus32x32_observed", benchFloodObserved)
+	rep.Benchmarks = append(rep.Benchmarks, observed)
+	// Guard the streaming-progress contract: an attached observer with no
+	// subscribers must add zero allocations to the layer-1 hot path.
+	if observed.AllocsPerOp > base.AllocsPerOp {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: progress observer added allocations to the hot path (%d -> %d allocs/op)\n",
+			base.AllocsPerOp, observed.AllocsPerOp)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "bench: figure-4 point (uf50-218, 196-core 2D torus, RR)...")
 	rep.Benchmarks = append(rep.Benchmarks, runBench("figure4_point_2dtorus_rr_196", benchFigure4Point))
 	fmt.Fprintln(os.Stderr, "bench: sweep speedup (quick figure-4, serial vs parallel)...")
@@ -192,6 +206,37 @@ func benchFlood(b *testing.B) {
 		sim, err := simulator.New(simulator.Config{
 			Topology: topo,
 			Factory:  func(mesh.NodeID) simulator.Handler { return &floodHandler{} },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Inject(0, nil); err != nil {
+			b.Fatal(err)
+		}
+		stats := sim.Run()
+		if !stats.Quiescent {
+			b.Fatal("flood did not quiesce")
+		}
+		steps = stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// benchFloodObserved is benchFlood with a progress observer attached and no
+// subscriber — the configuration every serviced job now runs under when
+// nobody is watching. The broker and observer are built once, outside the
+// measured iterations, so allocs/op isolates the per-step cost, which must
+// be zero.
+func benchFloodObserved(b *testing.B) {
+	topo := mesh.MustTorus(32, 32)
+	obs := service.NewProgressBroker().Observer()
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		sim, err := simulator.New(simulator.Config{
+			Topology: topo,
+			Factory:  func(mesh.NodeID) simulator.Handler { return &floodHandler{} },
+			Observer: obs,
 		})
 		if err != nil {
 			b.Fatal(err)

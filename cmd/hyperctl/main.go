@@ -8,7 +8,9 @@
 //	        -spec FILE submits a raw JobSpec JSON document
 //	status  print one job (or all jobs with no argument)
 //	list    list jobs, optionally filtered by state
-//	wait    poll a job until it reaches a terminal state (backoff to 2s)
+//	wait    poll a job until it reaches a terminal state (backoff to 2s);
+//	        -progress streams the server's SSE events instead and renders a
+//	        live step/queue/rate line while the solve runs
 //	cancel  cancel a queued or running job
 //	health  print the server's liveness report
 //	cluster print a router's per-backend health report (router mode only)
@@ -28,6 +30,7 @@
 //	hyperctl status 3
 //	hyperctl list -state done,failed
 //	hyperctl wait 3 -timeout 60s
+//	hyperctl wait 3 -progress
 //	hyperctl cancel 3
 //	hyperctl -addr http://router:8090 wait s2-17
 //	hyperctl -addr http://router:8090 cluster
@@ -211,6 +214,8 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 		"initial poll interval; each poll backs off exponentially to a 2s cap")
 	fs.DurationVar(poll, "interval", 100*time.Millisecond, "deprecated alias for -poll")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	progress := fs.Bool("progress", false,
+		"render a live progress line from the server's SSE event stream (falls back to polling if the stream drops)")
 	// Accept the id before the flags ("wait 3 -timeout 60s"), matching the
 	// other subcommands; stdlib flag parsing stops at the first positional
 	// argument otherwise.
@@ -226,7 +231,7 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 		idArg = fs.Arg(0)
 	case idArg != "" && fs.NArg() == 0:
 	default:
-		return fmt.Errorf("usage: hyperctl wait <id> [-poll D] [-timeout D]")
+		return fmt.Errorf("usage: hyperctl wait <id> [-poll D] [-timeout D] [-progress]")
 	}
 	id, err := parseID(idArg)
 	if err != nil {
@@ -237,11 +242,57 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *progress {
+		switch err := watchProgress(ctx, client, id); {
+		case err == nil:
+			// The job is terminal; Wait returns its record on the first
+			// successful poll and rides out transient blips, unlike a bare
+			// Get.
+			job, err := client.Wait(ctx, id, *poll)
+			if err != nil {
+				return err
+			}
+			return printJSON(job)
+		case ctx.Err() != nil:
+			return err
+		default:
+			// An old server without the events endpoint, or a stream that
+			// died mid-solve: the job may still be running, so degrade to
+			// the polling wait instead of failing.
+			fmt.Fprintf(os.Stderr, "hyperctl: event stream unavailable (%v); falling back to polling\n", err)
+		}
+	}
 	job, err := client.Wait(ctx, id, *poll)
 	if err != nil {
 		return err
 	}
 	return printJSON(job)
+}
+
+// watchProgress renders the SSE progress feed as a live one-line status on
+// stderr (stdout stays clean JSON), returning nil once the terminal
+// snapshot has arrived.
+func watchProgress(ctx context.Context, client *service.Client, id service.JobID) error {
+	lastLen := 0
+	err := client.Watch(ctx, id, func(p service.Progress) {
+		var line string
+		if p.State.Terminal() {
+			line = fmt.Sprintf("job %s %s after %d steps", id, p.State, p.Step)
+		} else {
+			line = fmt.Sprintf("job %s %s: step %d · %d queued · %.0f steps/s · %.1fs",
+				id, p.State, p.Step, p.Queued, p.StepsPerSec, float64(p.ElapsedMs)/1000)
+		}
+		pad := ""
+		if n := lastLen - len(line); n > 0 {
+			pad = strings.Repeat(" ", n)
+		}
+		lastLen = len(line)
+		fmt.Fprintf(os.Stderr, "\r%s%s", line, pad)
+	})
+	if lastLen > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	return err
 }
 
 func cancel(ctx context.Context, client *service.Client, args []string) error {

@@ -359,6 +359,20 @@ type SolveClient = service.Client
 // SubmitRetry is SolveClient's backoff policy for queue-full rejections.
 type SubmitRetry = service.Retry
 
+// JobProgress is a throttled snapshot of a running job's execution, as
+// streamed by the service's SSE endpoint (GET /v1/jobs/{id}/events),
+// SolveClient.Watch and SolveService.Subscribe. The last snapshot of every
+// stream carries a terminal state.
+type JobProgress = service.Progress
+
+// JobProgressBroker fans one job's progress snapshots out to subscribers
+// with last-event-kept semantics; its Observer plugs into Config.Observer
+// (via core) for library users who want live tracing without the service.
+type JobProgressBroker = service.ProgressBroker
+
+// NewJobProgressBroker returns an empty progress broker.
+func NewJobProgressBroker() *JobProgressBroker { return service.NewProgressBroker() }
+
 // JobStore is the pluggable persistence backend of a SolveService: the
 // in-memory map, or the durable WAL-journal + snapshot file backend.
 type JobStore = store.Store

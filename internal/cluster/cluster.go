@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -304,6 +305,45 @@ func (r *Router) Cancel(ctx context.Context, id service.JobID) (service.Job, err
 	b.setHealthy()
 	job.ID.Shard = b.shard
 	return job, nil
+}
+
+// openEvents opens the owning shard's raw SSE stream for a job (see
+// service.Client.OpenEvents), returning the stream plus the backend serving
+// it so the proxy can degrade it on a mid-stream death. Transport-level
+// failures to open degrade the backend exactly like Get.
+func (r *Router) openEvents(ctx context.Context, id service.JobID) (io.ReadCloser, *backend, error) {
+	b, err := r.route(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := b.client.OpenEvents(ctx, service.JobID{Seq: id.Seq})
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			b.setDegraded(err)
+		}
+		return nil, nil, err
+	}
+	b.setHealthy()
+	return body, b, nil
+}
+
+// Watch streams a job's progress events from its owning shard, with the
+// same contract as service.Client.Watch — the library-level counterpart of
+// the HTTP proxy.
+func (r *Router) Watch(ctx context.Context, id service.JobID, fn func(service.Progress)) error {
+	b, err := r.route(id)
+	if err != nil {
+		return err
+	}
+	err = b.client.Watch(ctx, service.JobID{Seq: id.Seq}, fn)
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			b.setDegraded(err)
+		}
+		return err
+	}
+	b.setHealthy()
+	return nil
 }
 
 // List fans the listing out to every backend concurrently and merges the

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -416,5 +417,208 @@ func TestRouterNegativeShardIsNotFound(t *testing.T) {
 	}
 	if _, err := tc.router.Cancel(ctx, service.JobID{Shard: -3, Seq: 1}); !errors.Is(err, ErrUnknownShard) {
 		t.Fatalf("Cancel(shard -3) = %v, want ErrUnknownShard", err)
+	}
+}
+
+// slowSpec is a job that runs until cancelled (within its huge step
+// budget), used to watch live progress through the router.
+func slowSpec() service.JobSpec {
+	return service.JobSpec{
+		Kind:     "sum",
+		N:        500,
+		Topology: "ring:4",
+		Link:     service.LinkSpec{LinkLatency: 50000},
+		MaxSteps: 1 << 40,
+	}
+}
+
+// TestRouterEventsProxy streams a running job's SSE feed through the
+// router: the stream is proxied from the owning shard, running snapshots
+// arrive live, and the terminal snapshot ends the stream after a cancel.
+func TestRouterEventsProxy(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	job, err := tc.client.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.ID.Sharded() {
+		t.Fatalf("router returned unsharded ID %q", job.ID)
+	}
+
+	var sawRunning atomic.Bool
+	done := make(chan error, 1)
+	var last atomic.Value // service.Progress
+	go func() {
+		done <- tc.client.Watch(ctx, job.ID, func(p service.Progress) {
+			last.Store(p)
+			if p.State == service.StateRunning && p.Step > 0 {
+				sawRunning.Store(true)
+			}
+		})
+	}()
+	for !sawRunning.Load() {
+		select {
+		case err := <-done:
+			t.Fatalf("stream ended before a running snapshot: %v", err)
+		case <-ctx.Done():
+			t.Fatal("no running snapshot before the test deadline")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if _, err := tc.client.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Watch through router: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("Watch did not end after cancel")
+	}
+	if p := last.Load().(service.Progress); p.State != service.StateCancelled {
+		t.Fatalf("last proxied snapshot = %+v, want cancelled", p)
+	}
+}
+
+// TestRouterEventsAfterDone: subscribing through the router to a job that
+// already finished replays the terminal snapshot — the backend's
+// subscribe-after-done semantics survive the proxy.
+func TestRouterEventsAfterDone(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	job, err := tc.client.Submit(ctx, quickSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.Wait(ctx, job.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var events []service.Progress
+	if err := tc.client.Watch(ctx, job.ID, func(p service.Progress) { events = append(events, p) }); err != nil {
+		t.Fatalf("Watch on done job through router: %v", err)
+	}
+	if len(events) != 1 || events[0].State != service.StateDone {
+		t.Fatalf("replayed events = %+v, want exactly one done snapshot", events)
+	}
+
+	// And the raw wire surface: SSE content type, `event: end` frame.
+	resp, err := tc.server.Client().Get(tc.server.URL + "/v1/jobs/" + job.ID.String() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("proxied Content-Type = %q, want text/event-stream", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "event: end\ndata: ") {
+		t.Fatalf("proxied stream %q lacks the terminal frame", raw)
+	}
+}
+
+// TestRouterEventsIDErrors pins the routing verdicts of the events
+// endpoint: bare IDs 400, unknown shards 404 — and a dead shard is a clean
+// 502 before the stream opens.
+func TestRouterEventsIDErrors(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	for path, want := range map[string]int{
+		"/v1/jobs/17/events":    http.StatusBadRequest,
+		"/v1/jobs/s9-17/events": http.StatusNotFound,
+	} {
+		resp, err := tc.server.Client().Get(tc.server.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// Kill shard 2 outright: opening its stream is a 502, not a router
+	// failure, and the backend is marked degraded.
+	tc.backends[1].Close()
+	tc.services[1].Close()
+	resp, err := tc.server.Client().Get(tc.server.URL + "/v1/jobs/s2-1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("events on dead shard status = %d, want 502", resp.StatusCode)
+	}
+	if healthy, _ := tc.router.backends[1].state(); healthy {
+		t.Fatal("dead shard still marked healthy after a failed stream open")
+	}
+}
+
+// TestRouterEventsMidStreamDeath: a backend dying mid-stream ends the
+// proxied stream without its terminal event — the client sees
+// ErrStreamEnded and can fall back to polling — and degrades the backend.
+func TestRouterEventsMidStreamDeath(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	job, err := tc.client.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.backends[job.ID.Shard-1]
+
+	var sawAny atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- tc.client.Watch(ctx, job.ID, func(service.Progress) { sawAny.Store(true) })
+	}()
+	for !sawAny.Load() {
+		select {
+		case err := <-done:
+			t.Fatalf("stream ended before any snapshot: %v", err)
+		case <-ctx.Done():
+			t.Fatal("no snapshot before the test deadline")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Sever every client connection into the owning backend: the proxied
+	// read fails mid-stream.
+	owner.CloseClientConnections()
+	select {
+	case err := <-done:
+		if !errors.Is(err, service.ErrStreamEnded) {
+			t.Fatalf("Watch after mid-stream death = %v, want ErrStreamEnded", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("Watch did not end after the backend connection was severed")
+	}
+}
+
+// TestRouterAdmissionRejectsTrailingGarbage: the router's admission path
+// shares ReadJobSpec with the daemon, so a concatenated or garbage-trailed
+// body is a 400 before any backend is contacted.
+func TestRouterAdmissionRejectsTrailingGarbage(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	body := `{"kind":"sum","n":20,"topology":"ring:4"}{"kind":"sum","n":21}`
+	resp, err := tc.server.Client().Post(tc.server.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("router POST with trailing garbage status = %d, want 400", resp.StatusCode)
+	}
+	for i, svc := range tc.services {
+		if jobs := svc.List(); len(jobs) != 0 {
+			t.Fatalf("backend %d admitted %d jobs from a rejected body", i+1, len(jobs))
+		}
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"hypersolve/internal/service"
@@ -12,12 +13,13 @@ import (
 // hypersolved process in router mode serves the same API as a single
 // daemon — plus the cluster report:
 //
-//	POST   /v1/jobs      submit a JobSpec  → 202 Job with a sharded ID (s2-17)
-//	GET    /v1/jobs      union of all shards' jobs, merged sorted by ID
-//	GET    /v1/jobs/{id} fetch one job, routed by the ID's shard prefix
-//	DELETE /v1/jobs/{id} cancel a job, routed by the ID's shard prefix
-//	GET    /healthz      router liveness (the process itself)
-//	GET    /v1/cluster   per-backend reachability, queue depth, job counts
+//	POST   /v1/jobs             submit a JobSpec  → 202 Job with a sharded ID (s2-17)
+//	GET    /v1/jobs             union of all shards' jobs, merged sorted by ID
+//	GET    /v1/jobs/{id}        fetch one job, routed by the ID's shard prefix
+//	GET    /v1/jobs/{id}/events proxy the owning shard's SSE progress stream
+//	DELETE /v1/jobs/{id}        cancel a job, routed by the ID's shard prefix
+//	GET    /healthz             router liveness (the process itself)
+//	GET    /v1/cluster          per-backend reachability, queue depth, job counts
 //
 // Error semantics mirror the daemon handler ({"error": "..."} bodies). A
 // backend's own HTTP verdict (404, 409, 429, 400, …) is relayed verbatim;
@@ -67,6 +69,53 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		id, ok := routerPathID(w, req)
+		if !ok {
+			return
+		}
+		body, b, err := r.openEvents(req.Context(), id)
+		if err != nil {
+			// A shard unreachable before the stream opened is a clean 502
+			// (and the backend is degraded); a backend verdict relays
+			// verbatim, exactly like Get.
+			writeRouteError(w, err)
+			return
+		}
+		defer body.Close()
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			service.WriteError(w, http.StatusInternalServerError,
+				errors.New("cluster: response writer does not support streaming"))
+			return
+		}
+		service.SetEventStreamHeaders(w)
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		// Proxy the stream verbatim, flushing per read so events reach the
+		// subscriber as they happen, not when a buffer fills.
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return // subscriber went away
+				}
+				fl.Flush()
+			}
+			if rerr != nil {
+				// The status line is out, so a mid-stream backend death
+				// cannot become a 502 here: the stream simply ends without
+				// its terminal event (clients detect that — see
+				// service.ErrStreamEnded) and the backend is degraded for
+				// everything that follows.
+				if rerr != io.EOF && req.Context().Err() == nil {
+					b.setDegraded(rerr)
+				}
+				return
+			}
+		}
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
 		id, ok := routerPathID(w, req)

@@ -54,6 +54,12 @@ type Config struct {
 	// default (the paper's semantics).
 	CancelSpeculative bool
 
+	// Observer, if non-nil, receives the layer-1 after-step callback
+	// (overriding any Link.Observer). The solve service installs its
+	// throttled progress publisher here so running jobs can be watched
+	// live; the hook costs nothing measurable when nil.
+	Observer simulator.Observer
+
 	// Seed drives all randomness in the stack.
 	Seed int64
 	// MaxSteps bounds the simulation (default simulator's 4M).
@@ -124,6 +130,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("core: Config.Task is nil")
 	}
 	simCfg := cfg.Link
+	if cfg.Observer != nil {
+		simCfg.Observer = cfg.Observer
+	}
 	simCfg.Seed = cfg.Seed
 	if cfg.MaxSteps > 0 {
 		simCfg.MaxSteps = cfg.MaxSteps

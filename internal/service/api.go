@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 )
@@ -24,11 +25,12 @@ const MaxSpecBytes = 64 << 20
 
 // NewHandler wraps a service in its HTTP JSON surface:
 //
-//	POST   /v1/jobs      submit a JobSpec  → 202 Job (429 when the queue is full)
-//	GET    /v1/jobs      list jobs         → 200 []Job; ?state= filters
-//	GET    /v1/jobs/{id} fetch one job     → 200 Job
-//	DELETE /v1/jobs/{id} cancel a job      → 200 Job (409 when already terminal)
-//	GET    /healthz      liveness + queue occupancy
+//	POST   /v1/jobs             submit a JobSpec  → 202 Job (429 when the queue is full)
+//	GET    /v1/jobs             list jobs         → 200 []Job; ?state= filters
+//	GET    /v1/jobs/{id}        fetch one job     → 200 Job
+//	GET    /v1/jobs/{id}/events stream progress   → 200 text/event-stream (SSE)
+//	DELETE /v1/jobs/{id}        cancel a job      → 200 Job (409 when already terminal)
+//	GET    /healthz             liveness + queue occupancy
 //
 // The list filter accepts repeated and comma-separated values
 // (?state=done&state=failed, ?state=queued,running); an unknown state is a
@@ -67,6 +69,24 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		ch, cancel, err := s.Subscribe(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			WriteError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			// The fan-out bound: shed this subscriber, keep the solve.
+			WriteError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer cancel()
+		ServeEvents(w, r, ch)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
@@ -117,7 +137,73 @@ func ReadJobSpec(w http.ResponseWriter, r *http.Request) (JobSpec, bool) {
 		WriteError(w, status, fmt.Errorf("decoding job spec: %w", err))
 		return JobSpec{}, false
 	}
+	// The body must be exactly one JSON document. Decode reads one value and
+	// stops, so `{...}{...}` or `{...}junk` would otherwise be admitted with
+	// the trailing content silently dropped — a concatenated batch the
+	// sender meant as several jobs would quietly run as one.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		WriteError(w, http.StatusBadRequest,
+			errors.New("decoding job spec: trailing data after the JSON document"))
+		return JobSpec{}, false
+	}
 	return spec, true
+}
+
+// ServeEvents writes a progress channel to the client as server-sent
+// events: `event: progress` frames while the job runs, a final `event: end`
+// frame carrying the terminal snapshot, each with a JSON-encoded Progress
+// as its data line. The stream ends when the channel closes (the job went
+// terminal) or the client disconnects. Shared by the daemon handler and the
+// cluster router's subscriber-facing side so the wire format cannot
+// diverge.
+func ServeEvents(w http.ResponseWriter, r *http.Request, ch <-chan Progress) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError,
+			errors.New("service: response writer does not support streaming"))
+		return
+	}
+	SetEventStreamHeaders(w)
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := WriteEvent(w, p); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// SetEventStreamHeaders marks a response as a server-sent event stream and
+// disables intermediary buffering.
+func SetEventStreamHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+}
+
+// WriteEvent writes one SSE frame: the event name derives from the
+// snapshot's state (`progress` while running, `end` once terminal).
+func WriteEvent(w io.Writer, p Progress) error {
+	name := "progress"
+	if p.State.Terminal() {
+		name = "end"
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	return err
 }
 
 // StatesFromQuery parses the list filter's ?state= values, accepting

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -225,28 +226,146 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 // client never polls less often than this.
 const waitMaxInterval = 2 * time.Second
 
+// waitMaxGetFailures bounds how many consecutive transient Get failures
+// Wait rides out before giving up and returning the last error.
+const waitMaxGetFailures = 5
+
+// transientWaitError reports whether a Get failure is worth retrying from
+// inside Wait: transport-level errors (the daemon restarting, a router
+// re-probing a backend) and server-side 5xx verdicts are transient; a 4xx
+// is the server's answer about this job (404 gone, 400 bad ID) and aborting
+// minutes into a wait over it would be correct, so it is returned
+// immediately.
+func transientWaitError(err error) bool {
+	status, spoke := ErrorStatus(err)
+	return !spoke || status >= 500
+}
+
 // Wait polls a job until it reaches a terminal state or ctx expires,
 // returning the final record. The poll interval starts at initial (default
 // 100ms) and backs off gently — ×1.5 per poll, capped at 2s (or at initial,
 // if larger) — so waiting on a long solve doesn't hammer the daemon.
+//
+// Transient poll failures — transport errors and 5xx verdicts, e.g. a 502
+// from a router mid-re-probe or a daemon restart blip — are retried in
+// place with the same backoff schedule, up to waitMaxGetFailures
+// consecutive failures, so one blip cannot kill a wait minutes into a
+// solve. A 4xx verdict is returned immediately. Cancelling ctx always ends
+// the wait.
 func (c *Client) Wait(ctx context.Context, id JobID, initial time.Duration) (Job, error) {
 	if initial <= 0 {
 		initial = 100 * time.Millisecond
 	}
 	interval := initial
+	failures := 0
 	for {
 		job, err := c.Get(ctx, id)
 		if err != nil {
-			return job, err
-		}
-		if job.State.Terminal() {
-			return job, nil
+			if ctx.Err() != nil || !transientWaitError(err) {
+				return job, err
+			}
+			if failures++; failures >= waitMaxGetFailures {
+				return job, fmt.Errorf("service: wait gave up after %d consecutive poll failures: %w", failures, err)
+			}
+		} else {
+			failures = 0
+			if job.State.Terminal() {
+				return job, nil
+			}
 		}
 		if err := sleepCtx(ctx, interval); err != nil {
 			return job, err
 		}
 		interval = nextPollInterval(interval, initial)
 	}
+}
+
+// OpenEvents performs GET /v1/jobs/{id}/events and returns the raw SSE
+// stream for the caller to consume (Watch decodes it; the cluster router
+// proxies it verbatim). A non-200 response is decoded into the same
+// status-carrying error as every other call, so ErrorStatus distinguishes a
+// server verdict from a transport failure.
+func (c *Client) OpenEvents(ctx context.Context, id JobID) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/v1/jobs/"+id.String()+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &apiError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp.Body, nil
+}
+
+// ErrStreamEnded reports an event stream that closed before delivering the
+// terminal snapshot — the backend died mid-stream, or a proxy gave up.
+// Callers holding a job ID can fall back to polling Wait.
+var ErrStreamEnded = errors.New("service: event stream ended before the job finished")
+
+// Watch streams a job's progress events, invoking fn (which may be nil) for
+// every decoded snapshot in order. It returns nil once the terminal
+// snapshot — the one whose State is terminal, always the stream's last —
+// has been delivered, ErrStreamEnded if the stream closed without one, and
+// the opening error otherwise (a 404 for an unknown job, a transport
+// failure...). The event rate is bounded by the server's throttle
+// (ProgressInterval); fast jobs may deliver only the terminal snapshot.
+func (c *Client) Watch(ctx context.Context, id JobID, fn func(Progress)) error {
+	body, err := c.OpenEvents(ctx, id)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) == 0 {
+				continue // keep-alive or event-name-only frame
+			}
+			var p Progress
+			if err := json.Unmarshal(data, &p); err != nil {
+				return fmt.Errorf("service: decoding progress event %q: %w", data, err)
+			}
+			data = nil
+			if fn != nil {
+				fn(p)
+			}
+			if p.State.Terminal() {
+				return nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			// Multi-line data concatenates per the SSE spec; a single
+			// leading space after the colon is not part of the payload.
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// event:/retry:/id: fields and comments carry nothing Watch
+			// needs: the terminal frame is recognised by its state.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return ErrStreamEnded
 }
 
 // nextPollInterval grows a poll interval ×1.5, capped at waitMaxInterval or

@@ -64,7 +64,7 @@ func (id *JobID) UnmarshalJSON(data []byte) error {
 		*id = parsed
 		return nil
 	}
-	seq, err := strconv.ParseInt(s, 10, 64)
+	seq, err := parseSeq(s)
 	if err != nil {
 		return fmt.Errorf("service: bad job id %s", s)
 	}
@@ -87,15 +87,28 @@ func ParseJobID(s string) (JobID, error) {
 		if err != nil || shard < 1 {
 			return bad()
 		}
-		seq, err := strconv.ParseInt(seqStr, 10, 64)
-		if err != nil || seq < 0 {
+		seq, err := parseSeq(seqStr)
+		if err != nil {
 			return bad()
 		}
 		return JobID{Shard: shard, Seq: seq}, nil
 	}
-	seq, err := strconv.ParseInt(s, 10, 64)
+	// The bare form rejects negatives just like the sharded form: sequence
+	// numbers start at 1, and "GET /v1/jobs/-5" parsing fine was a wire
+	// surface hole, not a feature.
+	seq, err := parseSeq(s)
 	if err != nil {
 		return bad()
 	}
 	return JobID{Seq: seq}, nil
+}
+
+// parseSeq parses a sequence number, rejecting any leading sign — not just
+// values below zero, so the non-canonical "-0" (which ParseInt reads as 0)
+// is refused too.
+func parseSeq(s string) (int64, error) {
+	if strings.HasPrefix(s, "-") || strings.HasPrefix(s, "+") {
+		return 0, fmt.Errorf("service: signed job sequence %q", s)
+	}
+	return strconv.ParseInt(s, 10, 64)
 }

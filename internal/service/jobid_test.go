@@ -42,6 +42,26 @@ func TestJobIDRoundTripProperty(t *testing.T) {
 			t.Fatalf("unsharded ID marshalled as string: %s", data)
 		}
 	}
+
+	// Negative sequence numbers are rejected in every wire form — the bare
+	// form used to let "GET /v1/jobs/-5" through while "s2--5" was refused.
+	for i := 0; i < 500; i++ {
+		neg := JobID{Seq: -1 - rng.Int63()}
+		if rng.Intn(2) == 0 {
+			neg.Shard = 1 + rng.Intn(1<<16)
+		}
+		if got, err := ParseJobID(neg.String()); err == nil {
+			t.Fatalf("ParseJobID(%q) = %+v, want error for negative seq", neg.String(), got)
+		}
+		data, err := json.Marshal(neg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JobID
+		if err := json.Unmarshal(data, &back); err == nil {
+			t.Fatalf("Unmarshal(%s) = %+v, want error for negative seq", data, back)
+		}
+	}
 }
 
 func TestParseJobIDForms(t *testing.T) {
@@ -58,7 +78,7 @@ func TestParseJobIDForms(t *testing.T) {
 			t.Errorf("ParseJobID(%q) = %+v, %v; want %+v", in, got, err, want)
 		}
 	}
-	for _, in := range []string{"", "s-1", "s0-3", "s2-", "s2--4", "sx-1", "s2-1x", "2-17", "s2.17", "nope"} {
+	for _, in := range []string{"", "s-1", "s0-3", "s2-", "s2--4", "sx-1", "s2-1x", "2-17", "s2.17", "nope", "-5", "-0", "s2--5"} {
 		if got, err := ParseJobID(in); err == nil {
 			t.Errorf("ParseJobID(%q) = %+v, want error", in, got)
 		}

@@ -143,6 +143,10 @@ type Service struct {
 	// callers (Job.Raw); never persisted.
 	raws    map[int64]*core.Result
 	cancels map[int64]context.CancelFunc
+	// brokers fan each live (queued or running) job's progress snapshots
+	// out to event subscribers; the terminal transition publishes the final
+	// snapshot and drops the entry, so the map never outlives the queue.
+	brokers map[int64]*ProgressBroker
 	closed  bool
 
 	// root is the ancestor context of every job run; Close cancels it so
@@ -177,6 +181,7 @@ func New(cfg Config) *Service {
 		builds:  make(map[int64]*buildOut),
 		raws:    make(map[int64]*core.Result),
 		cancels: make(map[int64]context.CancelFunc),
+		brokers: make(map[int64]*ProgressBroker),
 		done:    make(chan struct{}),
 	}
 	s.wake = sync.NewCond(&s.mu)
@@ -219,6 +224,8 @@ func (s *Service) recover() {
 			continue
 		}
 		s.builds[sj.ID] = &built
+		s.brokers[sj.ID] = NewProgressBroker()
+		s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 		s.pending = append(s.pending, sj.ID)
 	}
 }
@@ -271,6 +278,8 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	s.builds[sj.ID] = &built
+	s.brokers[sj.ID] = NewProgressBroker()
+	s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 	s.pending = append(s.pending, sj.ID)
 	s.wake.Signal()
 	return s.jobFromStore(sj), nil
@@ -331,6 +340,43 @@ func (s *Service) Counts() map[State]int {
 	return out
 }
 
+// Subscribe returns a live progress channel for one job, plus an
+// unsubscribe function. For a queued or running job the channel delivers
+// conflated snapshots (see ProgressBroker) and is closed after the terminal
+// snapshot; for a job already terminal — including jobs finished before
+// this process started — the channel arrives pre-loaded with a synthesized
+// final snapshot and closed. Unknown jobs return ErrNotFound; a job whose
+// fan-out bound is exhausted returns ErrTooManySubscribers.
+func (s *Service) Subscribe(id int64) (<-chan Progress, func(), error) {
+	s.mu.Lock()
+	if b := s.brokers[id]; b != nil {
+		defer s.mu.Unlock()
+		return b.Subscribe()
+	}
+	sj, ok := s.store.Get(id)
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	// Decode outside the lock: a result carrying series/heatmap payloads
+	// can be megabytes, and parsing it must not stall admissions.
+	p := Progress{State: sj.State, Error: sj.Error}
+	if len(sj.Result) > 0 {
+		var res struct {
+			Stats struct {
+				Steps int64 `json:"steps"`
+			} `json:"stats"`
+		}
+		if json.Unmarshal(sj.Result, &res) == nil {
+			p.Step = res.Stats.Steps
+		}
+	}
+	ch := make(chan Progress, 1)
+	ch <- p
+	close(ch)
+	return ch, func() {}, nil
+}
+
 // Cancel stops a job. A queued job transitions to cancelled immediately
 // and releases its admission-queue slot; a running job has its context
 // cancelled and transitions once the simulator observes the cancellation —
@@ -375,6 +421,10 @@ func (s *Service) finishLocked(id int64, state State, errMsg string, result *Job
 	// store's in-memory view already reflects the transition and stays
 	// authoritative for this process.
 	evicted, _ := s.store.Finish(id, state, time.Now().UTC(), errMsg, raw)
+	if b := s.brokers[id]; b != nil {
+		b.Finish(state, errMsg, result)
+		delete(s.brokers, id)
+	}
 	delete(s.builds, id)
 	for _, eid := range evicted {
 		delete(s.raws, eid)
@@ -436,6 +486,11 @@ func (s *Service) runJob(id int64) {
 	// The queued check above ran under this same lock, so Start can only
 	// fail on a journal write, which degrades durability, not correctness.
 	_ = s.store.Start(id, time.Now().UTC())
+	var obs simulator.Observer
+	if b := s.brokers[id]; b != nil {
+		b.Publish(Progress{State: StateRunning})
+		obs = b.Observer()
+	}
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if d := spec.Deadline(); d > 0 {
@@ -448,7 +503,7 @@ func (s *Service) runJob(id int64) {
 	s.mu.Unlock()
 	defer cancel()
 
-	res, raw, runErr := execute(ctx, spec, built)
+	res, raw, runErr := execute(ctx, spec, built, obs)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -467,9 +522,12 @@ func (s *Service) runJob(id int64) {
 }
 
 // execute runs one admission-compiled spec under ctx, decoding the raw
-// result into the job's JSON payload.
-func execute(ctx context.Context, spec JobSpec, built *buildOut) (*JobResult, *core.Result, error) {
-	machine, err := core.New(built.cfg)
+// result into the job's JSON payload. The observer (nil when the job has no
+// broker) streams throttled progress snapshots from the layer-1 step loop.
+func execute(ctx context.Context, spec JobSpec, built *buildOut, obs simulator.Observer) (*JobResult, *core.Result, error) {
+	cfg := built.cfg
+	cfg.Observer = obs
+	machine, err := core.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
