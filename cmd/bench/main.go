@@ -1,6 +1,6 @@
 // Command bench runs the repository's fixed performance suite and writes a
 // machine-readable JSON report, giving successive PRs a comparable
-// performance trajectory. It measures five things:
+// performance trajectory. It measures six things:
 //
 //   - the raw layer-1 step loop (a message flood on a 32x32 torus), bare
 //     and with a subscriber-less progress observer attached — the latter
@@ -14,7 +14,10 @@
 //     bounded admission queue (depth 64) into the worker pool, in jobs/sec,
 //   - the job store's transition throughput: submit→start→finish cycles
 //     per second on the memory backend, the journaling file backend, and
-//     the file backend with per-record fsync.
+//     the file backend with per-record fsync,
+//   - the replication overhead: how fast a replica store applies a
+//     primary's WAL feed, and the wall-clock gap between a primary dying
+//     and the first read served through the router via its standby.
 //
 // Usage:
 //
@@ -27,10 +30,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"reflect"
 	"runtime"
@@ -38,6 +43,7 @@ import (
 	"testing"
 	"time"
 
+	"hypersolve/internal/cluster"
 	"hypersolve/internal/experiments"
 	"hypersolve/internal/mesh"
 	"hypersolve/internal/sat"
@@ -84,14 +90,28 @@ type storeEntry struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
+// replicationEntry measures the WAL-shipping overhead added in the
+// replicated-fleet work: how fast a replica store applies a primary's
+// journal feed, and how long a cluster read takes to fail over to the
+// standby once the primary drops off the network.
+type replicationEntry struct {
+	TailRecords       int     `json:"tail_records"`
+	TailSeconds       float64 `json:"tail_seconds"`
+	TailRecordsPerSec float64 `json:"tail_records_per_sec"`
+	// FailoverFirstReadMs is the wall-clock gap between the primary's
+	// listener dying and the first successful read served via the standby.
+	FailoverFirstReadMs float64 `json:"failover_first_read_ms"`
+}
+
 type report struct {
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	CPUs       int          `json:"num_cpu"`
-	Benchmarks []benchEntry `json:"benchmarks"`
-	Sweep      sweepEntry   `json:"sweep"`
-	Service    serviceEntry `json:"service"`
-	Store      []storeEntry `json:"store"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	CPUs        int              `json:"num_cpu"`
+	Benchmarks  []benchEntry     `json:"benchmarks"`
+	Sweep       sweepEntry       `json:"sweep"`
+	Service     serviceEntry     `json:"service"`
+	Store       []storeEntry     `json:"store"`
+	Replication replicationEntry `json:"replication"`
 }
 
 func main() {
@@ -145,6 +165,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "bench: replication (journal-tail apply throughput, failover read latency)...")
+	rep.Replication, err = benchReplication()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -156,9 +182,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync)\n",
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms)\n",
 		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
-		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec)
+		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec,
+		rep.Replication.TailRecordsPerSec, rep.Replication.FailoverFirstReadMs)
 	fmt.Print(string(data))
 }
 
@@ -463,4 +490,166 @@ func benchStore() ([]storeEntry, error) {
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// benchReplication measures the WAL-shipping paths added with the
+// replicated fleet. Apply throughput is store-level (no HTTP in the way): a
+// replica ApplyFeeds a primary's 9000-record journal page by page, which is
+// the work a standby's tail loop does per pull. Failover latency is end to
+// end: a primary/standby node pair behind a router with aggressive probe
+// timings, the primary's listener closed, and the clock stopped at the
+// first read the router serves from the standby.
+func benchReplication() (replicationEntry, error) {
+	var e replicationEntry
+	spec, err := json.Marshal(hypersolve.JobSpec{Kind: "sum", N: 20, Topology: "ring:4", Seed: 3})
+	if err != nil {
+		return e, err
+	}
+	result := json.RawMessage(`{"ok":true,"value":210}`)
+
+	// Journal-tail apply throughput. SnapshotEvery is raised past the
+	// record count so the feed serves records, not a snapshot bootstrap —
+	// the steady-state tail path is what a standby runs forever.
+	primDir, err := os.MkdirTemp("", "hypersolve-bench-repl-prim")
+	if err != nil {
+		return e, err
+	}
+	defer os.RemoveAll(primDir)
+	replDir, err := os.MkdirTemp("", "hypersolve-bench-repl-repl")
+	if err != nil {
+		return e, err
+	}
+	defer os.RemoveAll(replDir)
+	prim, err := store.Open(store.FileConfig{Dir: primDir, SnapshotEvery: 20000})
+	if err != nil {
+		return e, err
+	}
+	defer prim.Close()
+	const cycles = 3000 // 9000 journal records
+	for i := 0; i < cycles; i++ {
+		j, err := prim.Submit(spec, time.Now().UTC())
+		if err != nil {
+			return e, err
+		}
+		if err := prim.Start(j.ID, time.Now().UTC()); err != nil {
+			return e, err
+		}
+		if _, err := prim.Finish(j.ID, store.StateDone, time.Now().UTC(), "", result); err != nil {
+			return e, err
+		}
+	}
+	repl, err := store.Open(store.FileConfig{Dir: replDir, Replica: true, SnapshotEvery: 20000})
+	if err != nil {
+		return e, err
+	}
+	defer repl.Close()
+	_, srcLSN := prim.ReplicationState()
+	start := time.Now()
+	for from := int64(1); ; {
+		page, err := prim.Feed(from, 0)
+		if err != nil {
+			return e, err
+		}
+		res, err := repl.ApplyFeed(page)
+		if err != nil {
+			return e, err
+		}
+		e.TailRecords += res.Applied
+		if _, lsn := repl.ReplicationState(); lsn >= srcLSN {
+			break
+		} else {
+			from = lsn + 1
+		}
+	}
+	elapsed := time.Since(start)
+	e.TailSeconds = elapsed.Seconds()
+	e.TailRecordsPerSec = float64(e.TailRecords) / elapsed.Seconds()
+
+	// Failover-to-first-successful-read latency through a live router.
+	pdir, err := os.MkdirTemp("", "hypersolve-bench-failover-p")
+	if err != nil {
+		return e, err
+	}
+	defer os.RemoveAll(pdir)
+	sdir, err := os.MkdirTemp("", "hypersolve-bench-failover-s")
+	if err != nil {
+		return e, err
+	}
+	defer os.RemoveAll(sdir)
+	primary, err := service.NewNode(service.NodeConfig{
+		Dir:     pdir,
+		Service: service.Config{QueueDepth: 16, Workers: 2},
+	})
+	if err != nil {
+		return e, err
+	}
+	defer primary.Close()
+	psrv := httptest.NewServer(primary.Handler())
+	standby, err := service.NewNode(service.NodeConfig{
+		Dir:       sdir,
+		Service:   service.Config{QueueDepth: 16, Workers: 2},
+		Follow:    psrv.URL,
+		PullEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		psrv.Close()
+		return e, err
+	}
+	defer standby.Close()
+	ssrv := httptest.NewServer(standby.Handler())
+	defer ssrv.Close()
+	r, err := cluster.New(cluster.Config{
+		Backends:     []string{psrv.URL},
+		Standbys:     []string{ssrv.URL},
+		ProbeEvery:   25 * time.Millisecond,
+		ProbeTimeout: 500 * time.Millisecond,
+		FailAfter:    2,
+		PromoteAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		psrv.Close()
+		return e, err
+	}
+	defer r.Close()
+	rsrv := httptest.NewServer(cluster.NewHandler(r))
+	defer rsrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client := &service.Client{Base: rsrv.URL}
+	job, err := client.Submit(ctx, hypersolve.JobSpec{Kind: "sum", N: 20, Topology: "ring:4", Seed: 7})
+	if err != nil {
+		psrv.Close()
+		return e, err
+	}
+	if _, err := client.Wait(ctx, job.ID, 5*time.Millisecond); err != nil {
+		psrv.Close()
+		return e, err
+	}
+	sc := &service.Client{Base: ssrv.URL}
+	for {
+		st, err := sc.ReplicationStatus(ctx)
+		if err == nil && st.Lag == 0 && st.LSN > 0 {
+			break
+		}
+		if ctx.Err() != nil {
+			psrv.Close()
+			return e, fmt.Errorf("standby never caught up: %w", ctx.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	psrv.Close() // the primary drops off the network
+	t0 := time.Now()
+	for {
+		if _, err := client.Get(ctx, job.ID); err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return e, fmt.Errorf("read never failed over: %w", ctx.Err())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.FailoverFirstReadMs = float64(time.Since(t0).Microseconds()) / 1000
+	return e, nil
 }

@@ -13,7 +13,12 @@
 //	        live step/queue/rate line while the solve runs
 //	cancel  cancel a queued or running job
 //	health  print the server's liveness report
-//	cluster print a router's per-backend health report (router mode only)
+//	cluster print a router's per-shard health report, or change membership:
+//	        cluster add-backend -primary URL [-standby URL] adds a shard,
+//	        cluster drain|undrain|remove <shard> manages the placement ring
+//	        (remove requires a prior drain)
+//	replication
+//	        print a durable node's replication status (role, epoch, LSN, lag)
 //
 // hyperctl speaks to single daemons and cluster routers alike: job IDs are
 // accepted in both wire forms (a bare sequence number like 3, or the
@@ -34,6 +39,9 @@
 //	hyperctl cancel 3
 //	hyperctl -addr http://router:8090 wait s2-17
 //	hyperctl -addr http://router:8090 cluster
+//	hyperctl -addr http://router:8090 cluster add-backend -primary http://b3:8080
+//	hyperctl -addr http://router:8090 cluster drain 3
+//	hyperctl -addr http://b1:8080 replication
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health|cluster} [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health|cluster|replication} [flags]\n")
 	flag.PrintDefaults()
 }
 
@@ -89,14 +98,63 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 		}
 		return printJSON(h)
 	case "cluster":
+		return clusterCmd(ctx, client, args)
+	case "replication":
+		st, err := client.ReplicationStatus(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health|cluster|replication)", cmd)
+	}
+}
+
+// clusterCmd serves both the fleet report (no argument) and the membership
+// verbs against a router's /v1/cluster surface.
+func clusterCmd(ctx context.Context, client *service.Client, args []string) error {
+	if len(args) == 0 {
 		var h cluster.Health
 		if err := client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
 			return err
 		}
 		return printJSON(h)
-	default:
-		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health|cluster)", cmd)
 	}
+	verb, rest := args[0], args[1:]
+	body := map[string]any{"action": verb}
+	switch verb {
+	case "add-backend":
+		fs := flag.NewFlagSet("cluster add-backend", flag.ExitOnError)
+		primary := fs.String("primary", "", "new shard's primary base URL (required)")
+		standby := fs.String("standby", "", "new shard's standby base URL (optional)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *primary == "" {
+			return fmt.Errorf("usage: hyperctl cluster add-backend -primary URL [-standby URL]")
+		}
+		body["action"] = "add"
+		body["primary"] = *primary
+		if *standby != "" {
+			body["standby"] = *standby
+		}
+	case "drain", "undrain", "remove":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: hyperctl cluster %s <shard>", verb)
+		}
+		shard, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return fmt.Errorf("shard must be a number: %w", err)
+		}
+		body["shard"] = shard
+	default:
+		return fmt.Errorf("unknown cluster verb %q (want add-backend|drain|undrain|remove, or no verb for the report)", verb)
+	}
+	var out json.RawMessage
+	if err := client.PostJSON(ctx, "/v1/cluster/backends", body, &out); err != nil {
+		return err
+	}
+	return printJSON(out)
 }
 
 func submit(ctx context.Context, client *service.Client, args []string) error {

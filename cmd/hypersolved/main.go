@@ -1,4 +1,4 @@
-// Command hypersolved runs the solve service in one of two modes.
+// Command hypersolved runs the solve service in one of three modes.
 //
 // Serve mode (the default) is a long-lived HTTP JSON server that accepts
 // solve jobs, queues them behind a bounded admission queue, and executes
@@ -7,22 +7,39 @@
 //	hypersolved -addr :8080 -queue 64 -workers 4
 //	hypersolved -addr :8080 -data-dir /var/lib/hypersolve   # durable job store
 //
-// Router mode fronts several serve-mode daemons as one sharded cluster:
-// submissions are hash-partitioned across the backends, job IDs carry their
-// shard ("s2-17"), listings fan out to every backend and merge, and dead
-// backends degrade the cluster instead of failing it:
+// Standby mode pairs a durable daemon with a primary: the node tails the
+// primary's write-ahead journal over HTTP, applies every record to its own
+// replica store, and serves read-only copies of the primary's jobs. A
+// standby becomes a primary on POST /v1/replication/promote — the cluster
+// router drives that automatically during failover:
 //
-//	hypersolved -addr :8090 -route http://127.0.0.1:8081,http://127.0.0.1:8082
+//	hypersolved -addr :8081 -data-dir /var/lib/hs-b -follow http://127.0.0.1:8080
+//
+// Router mode fronts several serve-mode daemons as one sharded cluster:
+// submissions are placed on a consistent-hash ring across the backends, job
+// IDs carry their shard ("s2-17"), listings fan out to every backend and
+// merge, and dead backends degrade the cluster instead of failing it. With
+// -standbys, each backend pairs with a replica; the router fails reads over
+// to the standby the moment the primary stops answering and promotes it
+// after a grace period. Membership changes at runtime via
+// POST /v1/cluster/backends or by editing -route-config and sending SIGHUP:
+//
+//	hypersolved -addr :8090 -route http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    -standbys http://127.0.0.1:8083,http://127.0.0.1:8084
+//	hypersolved -addr :8090 -route-config /etc/hypersolve/members.json
 //
 // API (see docs/API.md, internal/service and internal/cluster):
 //
-//	POST   /v1/jobs      submit a JobSpec  (429 when the queue is full)
-//	GET    /v1/jobs      list jobs (?state=done,failed filters); fanned out and
-//	                     merged in router mode
-//	GET    /v1/jobs/{id} job status + result; routed by shard in router mode
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /healthz      liveness + queue occupancy
-//	GET    /v1/cluster   per-backend health report (router mode only)
+//	POST   /v1/jobs                 submit a JobSpec  (429 when the queue is full)
+//	GET    /v1/jobs                 list jobs (?state=done,failed filters); fanned
+//	                                out and merged in router mode
+//	GET    /v1/jobs/{id}            job status + result; routed by shard in router mode
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
+//	GET    /healthz                 liveness + queue occupancy
+//	GET    /v1/replication/journal  WAL feed for standbys (durable nodes only)
+//	GET    /v1/replication/status   role, epoch, LSN, replication lag
+//	GET    /v1/cluster              per-shard health report (router mode only)
+//	POST   /v1/cluster/backends     add/drain/undrain/remove a shard (router mode only)
 //
 // Example:
 //
@@ -39,6 +56,17 @@
 // durability lives in the backends' data directories, so -data-dir and
 // -route are mutually exclusive.
 //
+// The -route-config file is a JSON array of members, reloaded on SIGHUP:
+//
+//	[
+//	  {"primary": "http://127.0.0.1:8081", "standby": "http://127.0.0.1:8083"},
+//	  {"primary": "http://127.0.0.1:8082"}
+//	]
+//
+// A reload adds unknown primaries as new shards and drains shards whose
+// endpoints left the file; it never removes a shard outright (drain first,
+// then remove via the API once its jobs are no longer needed).
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight HTTP requests finish, queued jobs are cancelled and running
 // solves are interrupted at the next cancellation slice. A graceful
@@ -48,6 +76,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,17 +101,40 @@ func main() {
 		fsync         = flag.Bool("fsync", false, "fsync the journal after every record (survives power loss, much slower)")
 		snapshotEvery = flag.Int("snapshot-every", store.DefaultSnapshotEvery,
 			"journal records between snapshot compactions")
+		follow = flag.String("follow", "",
+			"standby mode: tail this primary's replication feed (requires -data-dir)")
+		pullEvery = flag.Duration("pull-every", 250*time.Millisecond,
+			"standby mode: feed tail cadence once caught up (a lagging standby pulls continuously)")
 		route = flag.String("route", "",
 			"router mode: comma-separated backend base URLs (e.g. http://b1:8080,http://b2:8080); shard i is backend i+1")
+		standbys = flag.String("standbys", "",
+			"router mode: comma-separated standby URLs paired positionally with -route (empty slots allowed)")
+		routeConfig = flag.String("route-config", "",
+			"router mode: JSON membership file ([{\"primary\": ..., \"standby\": ...}, ...]); reloaded on SIGHUP")
 		probeEvery = flag.Duration("probe-every", 2*time.Second,
 			"router mode: cadence of the backend health re-probe loop")
+		failAfter = flag.Int("fail-after", 3,
+			"router mode: consecutive failed probes before a backend counts as down")
+		promoteAfter = flag.Duration("promote-after", 10*time.Second,
+			"router mode: grace period a primary stays down before its standby is promoted")
+		submitTimeout = flag.Duration("submit-timeout", 15*time.Second,
+			"router mode: per-backend bound on one submission attempt during the ring walk")
 	)
 	flag.Parse()
 	var err error
-	if *route != "" {
-		err = runRouter(*addr, *route, *probeEvery, *dataDir)
+	if *route != "" || *routeConfig != "" {
+		err = runRouter(*addr, routerOptions{
+			route:         *route,
+			standbys:      *standbys,
+			configFile:    *routeConfig,
+			probeEvery:    *probeEvery,
+			failAfter:     *failAfter,
+			promoteAfter:  *promoteAfter,
+			submitTimeout: *submitTimeout,
+			dataDir:       *dataDir,
+		})
 	} else {
-		err = runServe(*addr, *queue, *workers, *dataDir, *fsync, *snapshotEvery)
+		err = runServe(*addr, *queue, *workers, *dataDir, *fsync, *snapshotEvery, *follow, *pullEvery)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hypersolved:", err)
@@ -90,42 +142,127 @@ func main() {
 	}
 }
 
-func runServe(addr string, queue, workers int, dataDir string, fsync bool, snapshotEvery int) error {
+func runServe(addr string, queue, workers int, dataDir string, fsync bool, snapshotEvery int, follow string, pullEvery time.Duration) error {
 	cfg := service.Config{QueueDepth: queue, Workers: workers}
-	if dataDir != "" {
-		st, err := store.Open(store.FileConfig{Dir: dataDir, Fsync: fsync, SnapshotEvery: snapshotEvery})
-		if err != nil {
-			return err
+	if dataDir == "" {
+		if follow != "" {
+			return errors.New("-follow requires -data-dir: a standby replicates into a durable store")
 		}
-		recovered := len(st.List())
-		requeued := len(st.List(store.StateQueued))
-		fmt.Fprintf(os.Stderr, "hypersolved: durable store at %s (fsync %v, snapshot every %d records); recovered %d jobs, %d re-queued\n",
-			dataDir, fsync, snapshotEvery, recovered, requeued)
-		cfg.Store = st
+		svc := service.New(cfg)
+		depth, pool := svc.Queue()
+		banner := fmt.Sprintf("hypersolved: listening on %s (queue depth %d, %d workers)", addr, depth, pool)
+		return serve(addr, service.NewHandler(svc), banner, svc.Close, nil)
 	}
-	svc := service.New(cfg)
-	depth, pool := svc.Queue()
-	banner := fmt.Sprintf("hypersolved: listening on %s (queue depth %d, %d workers)", addr, depth, pool)
-	return serve(addr, service.NewHandler(svc), banner, svc.Close)
-}
-
-func runRouter(addr, route string, probeEvery time.Duration, dataDir string) error {
-	if dataDir != "" {
-		return errors.New("-route and -data-dir are mutually exclusive: a router holds no job state; give each backend its own -data-dir")
-	}
-	backends := strings.Split(route, ",")
-	r, err := cluster.New(cluster.Config{Backends: backends, ProbeEvery: probeEvery})
+	// Durable daemons run as replication nodes: same solve service, plus
+	// the WAL feed standbys tail and the promote/demote control surface.
+	node, err := service.NewNode(service.NodeConfig{
+		Dir:       dataDir,
+		Store:     store.FileConfig{Fsync: fsync, SnapshotEvery: snapshotEvery},
+		Service:   cfg,
+		Follow:    follow,
+		PullEvery: pullEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hypersolved: "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	banner := fmt.Sprintf("hypersolved: routing on %s across %d shards (%s)", addr, r.Shards(), route)
-	return serve(addr, cluster.NewHandler(r), banner, r.Close)
+	st := node.Status()
+	banner := fmt.Sprintf("hypersolved: listening on %s as %s (store %s, epoch %d, lsn %d",
+		addr, st.Role, dataDir, st.Epoch, st.LSN)
+	if follow != "" {
+		banner += ", following " + follow
+	}
+	banner += ")"
+	return serve(addr, node.Handler(), banner, node.Close, nil)
 }
 
-// serve runs the HTTP loop shared by both modes: listen, print the banner,
+type routerOptions struct {
+	route, standbys, configFile             string
+	probeEvery, promoteAfter, submitTimeout time.Duration
+	failAfter                               int
+	dataDir                                 string
+}
+
+func runRouter(addr string, opt routerOptions) error {
+	if opt.dataDir != "" {
+		return errors.New("-route and -data-dir are mutually exclusive: a router holds no job state; give each backend its own -data-dir")
+	}
+	if opt.route != "" && opt.configFile != "" {
+		return errors.New("-route and -route-config are mutually exclusive: pick flags or the reloadable file")
+	}
+	cfg := cluster.Config{
+		ProbeEvery:    opt.probeEvery,
+		FailAfter:     opt.failAfter,
+		PromoteAfter:  opt.promoteAfter,
+		SubmitTimeout: opt.submitTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hypersolved: "+format+"\n", args...)
+		},
+	}
+	if opt.configFile != "" {
+		members, err := readMembers(opt.configFile)
+		if err != nil {
+			return err
+		}
+		for _, m := range members {
+			cfg.Backends = append(cfg.Backends, m.Primary)
+			cfg.Standbys = append(cfg.Standbys, m.Standby)
+		}
+	} else {
+		cfg.Backends = strings.Split(opt.route, ",")
+		if opt.standbys != "" {
+			cfg.Standbys = strings.Split(opt.standbys, ",")
+		}
+	}
+	r, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	var reload func()
+	if opt.configFile != "" {
+		reload = func() {
+			members, err := readMembers(opt.configFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hypersolved: SIGHUP reload failed:", err)
+				return
+			}
+			added, drained, err := r.ApplyMembership(members)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hypersolved: SIGHUP reload failed:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "hypersolved: reloaded %s: %d shards (added %v, drained %v)\n",
+				opt.configFile, r.Shards(), added, drained)
+		}
+	}
+	banner := fmt.Sprintf("hypersolved: routing on %s across %d shards", addr, r.Shards())
+	return serve(addr, cluster.NewHandler(r), banner, r.Close, reload)
+}
+
+// readMembers parses a -route-config file: a JSON array of
+// {"primary": url, "standby": url} members (standby optional).
+func readMembers(path string) ([]cluster.MemberSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading route config: %w", err)
+	}
+	var members []cluster.MemberSpec
+	if err := json.Unmarshal(data, &members); err != nil {
+		return nil, fmt.Errorf("parsing route config %s: %w", path, err)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("route config %s lists no members", path)
+	}
+	return members, nil
+}
+
+// serve runs the HTTP loop shared by all modes: listen, print the banner,
 // and on SIGINT/SIGTERM drain in-flight requests before closing the
-// service (or router) behind the handler.
-func serve(addr string, handler http.Handler, banner string, closeBackend func()) error {
+// service (node or router) behind the handler. A non-nil reload hook runs
+// on every SIGHUP (router membership refresh).
+func serve(addr string, handler http.Handler, banner string, closeBackend func(), reload func()) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
@@ -134,6 +271,17 @@ func serve(addr string, handler http.Handler, banner string, closeBackend func()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if reload != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				reload()
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

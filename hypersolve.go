@@ -399,13 +399,15 @@ func OpenFileJobStore(cfg FileJobStoreConfig) (JobStore, error) { return store.O
 // ---------------------------------------------------------------------------
 
 // ClusterRouter fronts several hypersolved daemons as one sharded solve
-// service: submissions are hash-partitioned, job IDs encode their shard,
-// listings fan out and merge, and dead backends degrade the cluster
-// instead of failing it. See internal/cluster and docs/ARCHITECTURE.md.
+// service: submissions are placed on a consistent-hash ring, job IDs encode
+// their shard, listings fan out and merge, dead backends degrade the
+// cluster instead of failing it, and shards paired with standbys fail over
+// automatically. See internal/cluster and docs/ARCHITECTURE.md.
 type ClusterRouter = cluster.Router
 
 // ClusterConfig shapes a ClusterRouter: backend base URLs (shard i+1 =
-// Backends[i]), health re-probe cadence, transport and retry policy.
+// Backends[i], paired with Standbys[i]), probe cadence and failover
+// thresholds, transport and retry policy.
 type ClusterConfig = cluster.Config
 
 // ClusterHealth is the /v1/cluster report: the fleet verdict plus one
@@ -422,3 +424,30 @@ func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluste
 // NewClusterHandler wraps a router in the solve service's HTTP JSON API
 // plus GET /v1/cluster (the surface served by hypersolved -route).
 func NewClusterHandler(r *ClusterRouter) http.Handler { return cluster.NewHandler(r) }
+
+// ClusterMember names one shard's endpoints for Router.ApplyMembership (the
+// hypersolved -route-config / SIGHUP reload path).
+type ClusterMember = cluster.MemberSpec
+
+// ---------------------------------------------------------------------------
+// Replication & failover (hypersolved -data-dir / -follow)
+// ---------------------------------------------------------------------------
+
+// SolveNode is one member of a replicated shard: a durable solve daemon
+// that serves its WAL as a replication feed (primary), or tails another
+// node's feed into a read-only replica store (standby). Promote and Demote
+// flip the role in place; the cluster router drives both during failover.
+// See internal/service.Node and docs/ARCHITECTURE.md.
+type SolveNode = service.Node
+
+// SolveNodeConfig shapes a SolveNode: store directory, service sizing, and
+// the optional feed source that makes it a standby.
+type SolveNodeConfig = service.NodeConfig
+
+// ReplicationStatus is a node's GET /v1/replication/status payload: role,
+// fencing epoch, local and source LSN, and replication lag.
+type ReplicationStatus = service.ReplicationStatus
+
+// NewSolveNode opens the node's durable store and starts it in the
+// configured role; Close stops it.
+func NewSolveNode(cfg SolveNodeConfig) (*SolveNode, error) { return service.NewNode(cfg) }

@@ -1,17 +1,26 @@
 // Package cluster shards the solve service's job space across several
 // hypersolved daemons behind one entry point — the paper's fleet story. A
-// Router fronts N backend daemons, each with its own durable store:
-// submissions are hash-partitioned over the healthy backends, the assigned
-// shard is encoded into the job ID ("s2-17" is job 17 on shard 2) so
-// point reads and cancels route directly, and listings fan out to every
-// backend and merge ordered by ID. service.Client is the inter-daemon
-// transport, so the router inherits its 429 retry/backoff on submissions.
+// Router fronts N shards, each a primary daemon with its own durable store
+// and (optionally) a standby replica tailing the primary's WAL:
+// submissions are partitioned over a consistent-hash ring, the assigned
+// shard is encoded into the job ID ("s2-17" is job 17 on shard 2) so point
+// reads and cancels route directly, and listings fan out to every shard and
+// merge ordered by ID. service.Client is the inter-daemon transport, so the
+// router inherits its 429 retry/backoff on submissions.
 //
-// Backends fail independently: a transport-level failure marks the backend
-// degraded (skipped for placement, periodically re-probed) instead of
-// failing the router, and reads served by the surviving backends keep
-// working. GET /v1/cluster reports per-backend reachability, queue depth
-// and job counts.
+// Shards fail independently, and the router self-heals: a transport-level
+// failure marks the endpoint degraded (skipped for placement, periodically
+// re-probed), point reads fail over to the shard's standby, and a primary
+// that stays down past a grace period has its standby promoted in place —
+// the replica store goes read-write and re-runs whatever the dead primary
+// left queued. A stale primary that later rejoins is demoted (fenced and
+// re-synced) rather than allowed to split-brain the shard. Membership is
+// dynamic: POST /v1/cluster/backends adds, drains or removes shards at
+// runtime, and the ring moves only ~1/N of future placements per change
+// while existing sharded IDs keep routing by their encoded shard.
+//
+// GET /v1/cluster reports per-shard reachability, roles, promotions, queue
+// depth and job counts.
 package cluster
 
 import (
@@ -19,8 +28,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strings"
@@ -31,7 +40,7 @@ import (
 )
 
 // Sentinel errors of the routing layer; the HTTP handler maps them onto
-// status codes (503, 502, 404).
+// status codes (503, 502, 404, 409).
 var (
 	// ErrNoBackends means no backend accepted the call — every shard is
 	// unreachable (the router's 503).
@@ -42,73 +51,193 @@ var (
 	// ErrUnsharded means a bare sequence ID was addressed to the router; the
 	// router cannot know which backend owns it.
 	ErrUnsharded = errors.New("cluster: job id carries no shard (want s<shard>-<seq>)")
+	// ErrNotDraining rejects removing a shard that was never drained: its
+	// jobs would become unreachable mid-flight (the router's 409).
+	ErrNotDraining = errors.New("cluster: shard must be drained before removal")
 )
 
 // Config shapes a Router.
 type Config struct {
-	// Backends are the daemon base URLs; Backends[i] serves shard i+1.
+	// Backends are the primary daemon base URLs; Backends[i] serves shard
+	// i+1 at startup (membership can change at runtime).
 	Backends []string
+	// Standbys pairs each shard with a replica daemon (same index as
+	// Backends; "" or a missing tail entry leaves the shard unreplicated).
+	// A standby serves failed-over reads immediately and is promoted to
+	// primary when its primary stays down past PromoteAfter.
+	Standbys []string
 	// ProbeEvery is the cadence of the background health re-probe loop
-	// (<= 0 selects 2s). Degraded backends also recover on any successful
-	// proxied call, so the loop only bounds how long an idle router takes
-	// to notice a backend coming back.
+	// (<= 0 selects 2s). Each endpoint's probe is jittered within the tick
+	// so a large fleet is not hit by a synchronized probe wave. Degraded
+	// backends also recover on any successful proxied call, so the loop
+	// only bounds how long an idle router takes to notice a backend coming
+	// back — and how fast failover fires.
 	ProbeEvery time.Duration
-	// ProbeTimeout bounds each per-backend health probe (<= 0 selects 1s).
+	// ProbeTimeout bounds each per-backend health probe, independent of
+	// any caller's context (<= 0 selects 1s).
 	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive failed probes mark a primary down
+	// for failover purposes (<= 0 selects 3). Routing degrades on the
+	// first failure either way; FailAfter only gates promotion.
+	FailAfter int
+	// PromoteAfter is how long a primary must stay down (after FailAfter
+	// probes) before its standby is promoted (<= 0 selects 10s). The grace
+	// period is the router's protection against promoting through a
+	// transient partition.
+	PromoteAfter time.Duration
+	// SubmitTimeout bounds each per-backend submission attempt, so one
+	// hung backend cannot stall admission past the ring walk (<= 0
+	// selects 15s).
+	SubmitTimeout time.Duration
+	// RingReplicas is the virtual-node count per shard on the placement
+	// ring (<= 0 selects DefaultRingReplicas).
+	RingReplicas int
 	// HTTP is the transport shared by all backend clients; nil means
 	// http.DefaultClient.
 	HTTP *http.Client
 	// Retry is the submission backoff policy applied per backend attempt
 	// (see service.Retry); the zero value selects the client defaults.
 	Retry service.Retry
+	// Logf receives failover and membership transitions; nil discards
+	// them.
+	Logf func(format string, args ...any)
 }
 
-// backend is one shard: its client plus the router's view of its health.
-type backend struct {
-	shard  int // 1-based
+// endpoint is one daemon (a primary or a standby) plus the router's view of
+// its health.
+type endpoint struct {
 	base   string
 	client *service.Client
 
 	mu      sync.Mutex
 	healthy bool
-	lastErr string // transport error that degraded it, "" when healthy
+	lastErr string // failure that degraded it, "" when healthy
+	// probeFails counts consecutive failed probes; downSince is stamped
+	// when it first reaches the FailAfter threshold. Together they gate
+	// promotion — routing health is the healthy flag alone.
+	probeFails int
+	downSince  time.Time
 }
 
-func (b *backend) setHealthy() {
-	b.mu.Lock()
-	b.healthy, b.lastErr = true, ""
-	b.mu.Unlock()
+func (e *endpoint) setHealthy() {
+	e.mu.Lock()
+	e.healthy, e.lastErr = true, ""
+	e.probeFails, e.downSince = 0, time.Time{}
+	e.mu.Unlock()
 }
 
-func (b *backend) setDegraded(err error) {
-	b.mu.Lock()
-	b.healthy, b.lastErr = false, err.Error()
-	b.mu.Unlock()
+func (e *endpoint) setDegraded(err error) {
+	e.mu.Lock()
+	e.healthy, e.lastErr = false, err.Error()
+	e.mu.Unlock()
 }
 
-func (b *backend) state() (healthy bool, lastErr string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.healthy, b.lastErr
+// probeFailed records one failed background probe, degrading the endpoint
+// immediately and stamping the down clock once failAfter consecutive
+// probes have failed.
+func (e *endpoint) probeFailed(err error, failAfter int) {
+	e.mu.Lock()
+	e.healthy, e.lastErr = false, err.Error()
+	if e.probeFails++; e.probeFails >= failAfter && e.downSince.IsZero() {
+		e.downSince = time.Now()
+	}
+	e.mu.Unlock()
+}
+
+func (e *endpoint) state() (healthy bool, lastErr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.healthy, e.lastErr
+}
+
+func (e *endpoint) isHealthy() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.healthy
+}
+
+// downFor reports whether the endpoint has been down (failAfter consecutive
+// failed probes) for at least grace.
+func (e *endpoint) downFor(failAfter int, grace time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.probeFails >= failAfter && !e.downSince.IsZero() && time.Since(e.downSince) >= grace
+}
+
+// shard is one partition of the job space: a primary endpoint, an optional
+// standby, and the failover state between them.
+type shard struct {
+	id int
+
+	mu      sync.Mutex
+	primary *endpoint // current primary role
+	standby *endpoint // nil when the shard is unreplicated
+	// activeStandby routes reads and writes to the standby: set at
+	// promotion, cleared when the healed old primary is demoted and the
+	// roles swap.
+	activeStandby bool
+	// promoted records that a failover has happened on this shard (sticky,
+	// for the cluster report).
+	promoted bool
+	// draining excludes the shard from new placements; reads keep routing.
+	draining bool
+}
+
+// active returns the endpoint serving the shard right now.
+func (s *shard) active() *endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeStandby && s.standby != nil {
+		return s.standby
+	}
+	return s.primary
+}
+
+// alternate returns the shard's other endpoint (nil when unreplicated) —
+// the failover target for point reads.
+func (s *shard) alternate() *endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.standby == nil {
+		return nil
+	}
+	if s.activeStandby {
+		return s.primary
+	}
+	return s.standby
+}
+
+func (s *shard) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Router fronts a fleet of hypersolved daemons as one solve service. All
 // methods are safe for concurrent use. Close stops the re-probe loop.
 type Router struct {
-	cfg      Config
-	backends []*backend
-	stop     chan struct{}
-	stopped  sync.Once
-	done     chan struct{}
+	cfg Config
+
+	mu     sync.RWMutex
+	shards map[int]*shard
+	ring   *ring
+	nextID int // next shard ID to assign
+
+	stop    chan struct{}
+	stopped sync.Once
+	done    chan struct{}
 }
 
-// New builds a router over cfg.Backends (shard i+1 = Backends[i]) and
-// starts its background re-probe loop. Backends start healthy: the first
-// failed call degrades them, the probe loop and successful calls recover
-// them.
+// New builds a router over cfg.Backends (shard i+1 = Backends[i], paired
+// with Standbys[i] when given) and starts its background re-probe loop.
+// Endpoints start healthy: the first failed call degrades them, the probe
+// loop and successful calls recover them.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("cluster: no backends configured")
+	}
+	if len(cfg.Standbys) > len(cfg.Backends) {
+		return nil, errors.New("cluster: more standbys than backends")
 	}
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 2 * time.Second
@@ -116,26 +245,93 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
-	seen := make(map[string]bool, len(cfg.Backends))
-	r := &Router{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
-	for i, base := range cfg.Backends {
-		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
-		if base == "" {
-			return nil, fmt.Errorf("cluster: backend %d has an empty URL", i+1)
-		}
-		if seen[base] {
-			return nil, fmt.Errorf("cluster: duplicate backend %s (two shards on one store would double-run jobs)", base)
-		}
-		seen[base] = true
-		r.backends = append(r.backends, &backend{
-			shard:   i + 1,
-			base:    base,
-			client:  &service.Client{Base: base, HTTP: cfg.HTTP, Retry: cfg.Retry},
-			healthy: true,
-		})
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
 	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = 10 * time.Second
+	}
+	if cfg.SubmitTimeout <= 0 {
+		cfg.SubmitTimeout = 15 * time.Second
+	}
+	r := &Router{
+		cfg:    cfg,
+		shards: make(map[int]*shard),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i, base := range cfg.Backends {
+		standby := ""
+		if i < len(cfg.Standbys) {
+			standby = cfg.Standbys[i]
+		}
+		if _, err := r.addShardLocked(base, standby); err != nil {
+			return nil, err
+		}
+	}
+	r.rebuildRingLocked()
 	go r.probeLoop()
 	return r, nil
+}
+
+// newEndpoint normalises a base URL into an endpoint, checking it against
+// every URL already in the fleet (two shards on one store would double-run
+// jobs). Callers hold r.mu.
+func (r *Router) newEndpoint(base string, who string) (*endpoint, error) {
+	base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+	if base == "" {
+		return nil, fmt.Errorf("cluster: %s has an empty URL", who)
+	}
+	for _, sh := range r.shards {
+		for _, e := range []*endpoint{sh.primary, sh.standby} {
+			if e != nil && e.base == base {
+				return nil, fmt.Errorf("cluster: duplicate backend %s (two shards on one store would double-run jobs)", base)
+			}
+		}
+	}
+	return &endpoint{
+		base:    base,
+		client:  &service.Client{Base: base, HTTP: r.cfg.HTTP, Retry: r.cfg.Retry},
+		healthy: true,
+	}, nil
+}
+
+// addShardLocked registers a new shard under the next free ID. Callers
+// hold r.mu (or own the router exclusively, as New does) and rebuild the
+// ring afterwards.
+func (r *Router) addShardLocked(primary, standby string) (int, error) {
+	p, err := r.newEndpoint(primary, fmt.Sprintf("shard %d primary", r.nextID+1))
+	if err != nil {
+		return 0, err
+	}
+	sh := &shard{id: r.nextID + 1, primary: p}
+	if strings.TrimSpace(standby) != "" {
+		// Register the primary before validating the standby so the
+		// duplicate check sees it.
+		r.shards[sh.id] = sh
+		s, err := r.newEndpoint(standby, fmt.Sprintf("shard %d standby", sh.id))
+		if err != nil {
+			delete(r.shards, sh.id)
+			return 0, err
+		}
+		sh.standby = s
+	}
+	r.shards[sh.id] = sh
+	r.nextID = sh.id
+	return sh.id, nil
+}
+
+// rebuildRingLocked recomputes the placement ring over the non-draining
+// shards. Callers hold r.mu.
+func (r *Router) rebuildRingLocked() {
+	ids := make([]int, 0, len(r.shards))
+	for id, sh := range r.shards {
+		if !sh.isDraining() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	r.ring = newRing(ids, r.cfg.RingReplicas)
 }
 
 // Close stops the background re-probe loop.
@@ -144,8 +340,37 @@ func (r *Router) Close() {
 	<-r.done
 }
 
-// Shards returns the number of backends fronted by the router.
-func (r *Router) Shards() int { return len(r.backends) }
+// Shards returns the number of shards fronted by the router.
+func (r *Router) Shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// shardByID resolves a shard number under the read lock.
+func (r *Router) shardByID(id int) *shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[id]
+}
+
+// shardList snapshots the shards ordered by ID.
+func (r *Router) shardList() []*shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*shard, 0, len(r.shards))
+	for _, sh := range r.shards {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
 
 func (r *Router) probeLoop() {
 	defer close(r.done)
@@ -156,90 +381,193 @@ func (r *Router) probeLoop() {
 		case <-r.stop:
 			return
 		case <-tick.C:
-			r.probe(context.Background())
+			r.probeJittered()
+			r.reconcile()
 		}
 	}
 }
 
-// probe checks every backend's /healthz concurrently (each attempt bounded
-// by ProbeTimeout), updating the degraded flags, and returns each
-// backend's report (zero Health where unreachable). When the parent
-// context is cancelled mid-probe the remaining verdicts are discarded
-// rather than recorded: an impatient /v1/cluster caller must not degrade
-// healthy backends.
-func (r *Router) probe(parent context.Context) []service.Health {
-	reports := make([]service.Health, len(r.backends))
+// probeJittered probes every endpoint in the fleet, each delayed by a small
+// random jitter so the fleet never sees a synchronized probe wave, each
+// bounded by ProbeTimeout on a background context — a cancelled or slow
+// caller elsewhere cannot starve health detection.
+func (r *Router) probeJittered() {
+	maxJitter := r.cfg.ProbeEvery / 5
+	if maxJitter > 200*time.Millisecond {
+		maxJitter = 200 * time.Millisecond
+	}
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
-		wg.Add(1)
-		go func() {
+	for _, sh := range r.shardList() {
+		sh.mu.Lock()
+		eps := []*endpoint{sh.primary}
+		if sh.standby != nil {
+			eps = append(eps, sh.standby)
+		}
+		sh.mu.Unlock()
+		for _, ep := range eps {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if maxJitter > 0 {
+					select {
+					case <-r.stop:
+						return
+					case <-time.After(time.Duration(rand.Int64N(int64(maxJitter)))):
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+				defer cancel()
+				if _, err := ep.client.Health(ctx); err != nil {
+					ep.probeFailed(err, r.cfg.FailAfter)
+					return
+				}
+				ep.setHealthy()
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// reconcile drives the failover state machine after each probe round:
+//
+//   - A shard whose primary has been down for FailAfter consecutive probes
+//     plus the PromoteAfter grace period, with a healthy standby, has the
+//     standby promoted: its replica store goes read-write (bumping the
+//     fencing epoch) and re-runs whatever the dead primary left queued.
+//   - A promoted shard whose old primary is reachable again demotes it:
+//     the stale node discards its divergent tail, re-syncs from the new
+//     primary, and becomes the shard's standby — roles swap, no
+//     split-brain.
+func (r *Router) reconcile() {
+	for _, sh := range r.shardList() {
+		sh.mu.Lock()
+		if sh.standby == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		switch {
+		case !sh.activeStandby:
+			primary, standby := sh.primary, sh.standby
+			sh.mu.Unlock()
+			if !primary.downFor(r.cfg.FailAfter, r.cfg.PromoteAfter) || !standby.isHealthy() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+			res, err := standby.client.Promote(ctx)
+			cancel()
+			if err != nil {
+				r.logf("cluster: shard %d promotion of %s failed: %v", sh.id, standby.base, err)
+				continue
+			}
+			sh.mu.Lock()
+			sh.activeStandby, sh.promoted = true, true
+			sh.mu.Unlock()
+			r.logf("cluster: shard %d failed over to %s (epoch %d, %d jobs re-queued)",
+				sh.id, standby.base, res.Epoch, len(res.Requeued))
+		default:
+			// Promoted: heal the old primary once it answers probes again.
+			oldPrimary, newPrimary := sh.primary, sh.standby
+			sh.mu.Unlock()
+			if !oldPrimary.isHealthy() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+			_, err := oldPrimary.client.Demote(ctx, newPrimary.base)
+			cancel()
+			if err != nil {
+				r.logf("cluster: shard %d demotion of stale primary %s failed: %v", sh.id, oldPrimary.base, err)
+				continue
+			}
+			sh.mu.Lock()
+			sh.primary, sh.standby = newPrimary, oldPrimary
+			sh.activeStandby = false
+			sh.mu.Unlock()
+			r.logf("cluster: shard %d healed: %s demoted to standby of %s", sh.id, oldPrimary.base, newPrimary.base)
+		}
+	}
+}
+
+// probe checks every endpoint's /healthz concurrently (each attempt bounded
+// by ProbeTimeout), updating the degraded flags, and returns the active
+// endpoint's report per shard (zero Health where unreachable), keyed by
+// position in shardList. When the parent context is cancelled mid-probe
+// the remaining verdicts are discarded rather than recorded: an impatient
+// /v1/cluster caller must not degrade healthy backends.
+func (r *Router) probe(parent context.Context) []service.Health {
+	shards := r.shardList()
+	reports := make([]service.Health, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		probeOne := func(ep *endpoint, record *service.Health) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(parent, r.cfg.ProbeTimeout)
 			defer cancel()
-			h, err := b.client.Health(ctx)
+			h, err := ep.client.Health(ctx)
 			if err != nil {
 				if parent.Err() == nil {
-					b.setDegraded(err)
+					ep.setDegraded(err)
 				}
 				return
 			}
-			b.setHealthy()
-			reports[i] = h
-		}()
+			ep.setHealthy()
+			if record != nil {
+				*record = h
+			}
+		}
+		active, alt := sh.active(), sh.alternate()
+		wg.Add(1)
+		go probeOne(active, &reports[i])
+		if alt != nil {
+			wg.Add(1)
+			go probeOne(alt, nil)
+		}
 	}
 	wg.Wait()
 	return reports
 }
 
-// shardFor hash-partitions a spec over the shard space: FNV-1a of the
-// spec's canonical JSON encoding modulo the backend count. The hash is a
-// pure function of the spec, so identical work lands on the same shard
-// (and a re-submitted spec finds its twin's shard) while distinct specs
-// spread uniformly.
-func (r *Router) shardFor(spec service.JobSpec) int {
-	data, err := json.Marshal(spec)
-	if err != nil {
-		return 0 // unreachable for a decodable spec; shard 1 is as good as any
-	}
-	h := fnv.New32a()
-	h.Write(data)
-	// Reduce in uint32 space: a plain int(Sum32()) % n goes negative on
-	// 32-bit platforms for hashes >= 2^31.
-	return int(h.Sum32() % uint32(len(r.backends)))
-}
-
-// Submit places the spec on its hash-assigned shard and returns the
-// accepted job with its sharded ID. When the assigned backend is degraded
-// or fails at the transport level, placement walks forward to the next
-// healthy backend — the ID records where the job actually landed, so
-// spillover placement stays fully addressable. A backend that answers with
-// an HTTP verdict (400 bad spec, 429 after the client's retries, 503)
+// Submit places the spec on its ring-assigned shard and returns the
+// accepted job with its sharded ID. When the assigned shard is degraded or
+// fails at the transport level, placement walks the ring to the next
+// distinct shard — the ID records where the job actually landed, so
+// spillover placement stays fully addressable. Draining shards are skipped
+// entirely. Each backend attempt is bounded by SubmitTimeout, so one hung
+// backend cannot stall admission past the walk. A backend that answers
+// with an HTTP verdict (400 bad spec, 429 after the client's retries, 503)
 // ends the walk: the backend spoke for the cluster.
 func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job, error) {
-	start := r.shardFor(spec)
-	n := len(r.backends)
-	// First pass: healthy backends in hash order. Second pass: backends
-	// that were already degraded at entry — they may have just come back,
-	// and trying beats failing. Backends that failed during the first pass
-	// are not retried: they cannot have recovered in microseconds, and
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return service.Job{}, err
+	}
+	r.mu.RLock()
+	ring := r.ring
+	r.mu.RUnlock()
+	seq := ring.sequence(data)
+	// First pass: healthy shards in ring order. Second pass: shards that
+	// were already degraded at entry — they may have just come back, and
+	// trying beats failing. Shards that failed during the first pass are
+	// not retried: they cannot have recovered in microseconds, and
 	// re-paying their transport timeout would double outage latency.
-	tried := make([]bool, n)
+	tried := make(map[int]bool, len(seq))
 	var lastTransportErr error
 	for _, wantHealthy := range []bool{true, false} {
-		for i := 0; i < n; i++ {
-			idx := (start + i) % n
-			b := r.backends[idx]
-			if tried[idx] {
+		for _, sid := range seq {
+			sh := r.shardByID(sid)
+			if sh == nil || sh.isDraining() || tried[sid] {
 				continue
 			}
-			if healthy, _ := b.state(); healthy != wantHealthy {
+			ep := sh.active()
+			if ep.isHealthy() != wantHealthy {
 				continue
 			}
-			tried[idx] = true
-			job, err := b.client.Submit(ctx, spec)
+			tried[sid] = true
+			attemptCtx, cancel := context.WithTimeout(ctx, r.cfg.SubmitTimeout)
+			job, err := ep.client.Submit(attemptCtx, spec)
+			cancel()
 			if err == nil {
-				b.setHealthy()
-				job.ID.Shard = b.shard
+				ep.setHealthy()
+				job.ID.Shard = sh.id
 				return job, nil
 			}
 			if _, spoke := service.ErrorStatus(err); spoke {
@@ -248,7 +576,7 @@ func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job,
 			if ctx.Err() != nil {
 				return service.Job{}, err
 			}
-			b.setDegraded(err)
+			ep.setDegraded(err)
 			lastTransportErr = err
 		}
 	}
@@ -258,121 +586,170 @@ func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job,
 	return service.Job{}, ErrNoBackends
 }
 
-// route resolves a sharded ID to its backend.
-func (r *Router) route(id service.JobID) (*backend, error) {
+// route resolves a sharded ID to its shard.
+func (r *Router) route(id service.JobID) (*shard, error) {
 	if !id.Sharded() {
 		return nil, fmt.Errorf("%w: %q", ErrUnsharded, id)
 	}
-	// Guard both bounds: ParseJobID only produces shards >= 1, but library
-	// callers can hand-build a JobID with a negative shard.
-	if id.Shard < 1 || id.Shard > len(r.backends) {
-		return nil, fmt.Errorf("%w: %q names shard %d of %d", ErrUnknownShard, id, id.Shard, len(r.backends))
+	sh := r.shardByID(id.Shard)
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %q names shard %d", ErrUnknownShard, id, id.Shard)
 	}
-	return r.backends[id.Shard-1], nil
+	return sh, nil
 }
 
-// Get fetches one job from the shard encoded in its ID.
-func (r *Router) Get(ctx context.Context, id service.JobID) (service.Job, error) {
-	b, err := r.route(id)
-	if err != nil {
-		return service.Job{}, err
-	}
-	job, err := b.client.Get(ctx, service.JobID{Seq: id.Seq})
+// getFrom performs a point read against one endpoint, maintaining its
+// health flags.
+func getFrom(ctx context.Context, ep *endpoint, seq int64) (service.Job, error) {
+	job, err := ep.client.Get(ctx, service.JobID{Seq: seq})
 	if err != nil {
 		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
-			b.setDegraded(err)
+			ep.setDegraded(err)
 		}
 		return service.Job{}, err
 	}
-	b.setHealthy()
-	job.ID.Shard = b.shard
+	ep.setHealthy()
 	return job, nil
 }
 
-// Cancel stops a job on the shard encoded in its ID.
-func (r *Router) Cancel(ctx context.Context, id service.JobID) (service.Job, error) {
-	b, err := r.route(id)
+// Get fetches one job from the shard encoded in its ID. A transport-level
+// failure reaching the shard's active endpoint fails over to its standby
+// (whose replica store serves the same records), so a freshly dead primary
+// answers reads immediately — promotion can take its grace period without
+// blinding the fleet.
+func (r *Router) Get(ctx context.Context, id service.JobID) (service.Job, error) {
+	sh, err := r.route(id)
 	if err != nil {
 		return service.Job{}, err
 	}
-	job, err := b.client.Cancel(ctx, service.JobID{Seq: id.Seq})
+	job, err := getFrom(ctx, sh.active(), id.Seq)
 	if err != nil {
 		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
-			b.setDegraded(err)
+			if alt := sh.alternate(); alt != nil {
+				if job, altErr := getFrom(ctx, alt, id.Seq); altErr == nil {
+					job.ID.Shard = sh.id
+					return job, nil
+				}
+			}
 		}
 		return service.Job{}, err
 	}
-	b.setHealthy()
-	job.ID.Shard = b.shard
+	job.ID.Shard = sh.id
+	return job, nil
+}
+
+// Cancel stops a job on the shard encoded in its ID. Cancels do not fail
+// over: a standby is read-only, and a cancel applied to a replica view
+// would be lost at promotion anyway.
+func (r *Router) Cancel(ctx context.Context, id service.JobID) (service.Job, error) {
+	sh, err := r.route(id)
+	if err != nil {
+		return service.Job{}, err
+	}
+	ep := sh.active()
+	job, err := ep.client.Cancel(ctx, service.JobID{Seq: id.Seq})
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			ep.setDegraded(err)
+		}
+		return service.Job{}, err
+	}
+	ep.setHealthy()
+	job.ID.Shard = sh.id
 	return job, nil
 }
 
 // openEvents opens the owning shard's raw SSE stream for a job (see
-// service.Client.OpenEvents), returning the stream plus the backend serving
-// it so the proxy can degrade it on a mid-stream death. Transport-level
-// failures to open degrade the backend exactly like Get.
-func (r *Router) openEvents(ctx context.Context, id service.JobID) (io.ReadCloser, *backend, error) {
-	b, err := r.route(id)
+// service.Client.OpenEvents), returning the stream plus the endpoint
+// serving it so the proxy can degrade it on a mid-stream death. A
+// transport-level failure to open fails over to the shard's standby, which
+// can replay terminal jobs' streams (live streams need the primary).
+func (r *Router) openEvents(ctx context.Context, id service.JobID) (io.ReadCloser, *endpoint, error) {
+	sh, err := r.route(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	body, err := b.client.OpenEvents(ctx, service.JobID{Seq: id.Seq})
+	open := func(ep *endpoint) (io.ReadCloser, error) {
+		body, err := ep.client.OpenEvents(ctx, service.JobID{Seq: id.Seq})
+		if err != nil {
+			if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+				ep.setDegraded(err)
+			}
+			return nil, err
+		}
+		ep.setHealthy()
+		return body, nil
+	}
+	ep := sh.active()
+	body, err := open(ep)
 	if err != nil {
 		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
-			b.setDegraded(err)
+			if alt := sh.alternate(); alt != nil {
+				if body, altErr := open(alt); altErr == nil {
+					return body, alt, nil
+				}
+			}
 		}
 		return nil, nil, err
 	}
-	b.setHealthy()
-	return body, b, nil
+	return body, ep, nil
 }
 
 // Watch streams a job's progress events from its owning shard, with the
 // same contract as service.Client.Watch — the library-level counterpart of
 // the HTTP proxy.
 func (r *Router) Watch(ctx context.Context, id service.JobID, fn func(service.Progress)) error {
-	b, err := r.route(id)
+	body, _, err := r.openEvents(ctx, id)
 	if err != nil {
 		return err
 	}
-	err = b.client.Watch(ctx, service.JobID{Seq: id.Seq}, fn)
-	if err != nil {
-		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
-			b.setDegraded(err)
-		}
-		return err
-	}
-	b.setHealthy()
-	return nil
+	defer body.Close()
+	return service.DecodeEvents(ctx, body, fn)
 }
 
-// List fans the listing out to every backend concurrently and merges the
-// results ordered by ID (shard, then sequence). A backend that fails at
-// the transport level is marked degraded and skipped — complete reports
+// List fans the listing out to every shard concurrently and merges the
+// results ordered by ID (shard, then sequence). A shard whose active
+// endpoint fails at the transport level is retried against its standby;
+// only a shard with no reachable endpoint is skipped — complete reports
 // false and the listing is the union of the reachable shards. Only when
-// every backend fails does List return an error.
+// every shard fails does List return an error.
 func (r *Router) List(ctx context.Context, states ...service.State) (jobs []service.Job, complete bool, err error) {
+	shards := r.shardList()
 	type result struct {
 		jobs []service.Job
 		err  error
 	}
-	results := make([]result, len(r.backends))
+	results := make([]result, len(shards))
 	var wg sync.WaitGroup
-	for i, b := range r.backends {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := b.client.List(ctx, states...)
+			listFrom := func(ep *endpoint) ([]service.Job, error) {
+				got, err := ep.client.List(ctx, states...)
+				if err != nil {
+					if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+						ep.setDegraded(err)
+					}
+					return nil, err
+				}
+				ep.setHealthy()
+				return got, nil
+			}
+			got, err := listFrom(sh.active())
 			if err != nil {
 				if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
-					b.setDegraded(err)
+					if alt := sh.alternate(); alt != nil {
+						got, err = listFrom(alt)
+					}
 				}
+			}
+			if err != nil {
 				results[i] = result{err: err}
 				return
 			}
-			b.setHealthy()
 			for k := range got {
-				got[k].ID.Shard = b.shard
+				got[k].ID.Shard = sh.id
 			}
 			results[i] = result{jobs: got}
 		}()
@@ -406,47 +783,186 @@ func (r *Router) List(ctx context.Context, states ...service.State) (jobs []serv
 	return jobs, complete, nil
 }
 
-// BackendHealth is one backend's row in the cluster report.
+// AddShard registers a new shard (primary plus optional standby) and
+// rebuilds the placement ring: only ~1/N of future placements move to the
+// new shard; existing sharded IDs keep routing unchanged.
+func (r *Router) AddShard(primary, standby string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, err := r.addShardLocked(primary, standby)
+	if err != nil {
+		return 0, err
+	}
+	r.rebuildRingLocked()
+	r.logf("cluster: shard %d added (%s)", id, primary)
+	return id, nil
+}
+
+// DrainShard excludes a shard from new placements (drain=true) or restores
+// it (drain=false); reads and cancels keep routing either way. Draining is
+// the prerequisite for removal.
+func (r *Router) DrainShard(id int, drain bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[id]
+	if sh == nil {
+		return fmt.Errorf("%w: shard %d", ErrUnknownShard, id)
+	}
+	sh.mu.Lock()
+	sh.draining = drain
+	sh.mu.Unlock()
+	r.rebuildRingLocked()
+	r.logf("cluster: shard %d draining=%v", id, drain)
+	return nil
+}
+
+// RemoveShard unregisters a drained shard. Its sharded IDs stop resolving
+// through this router, so removal demands an explicit prior drain — the
+// operator's acknowledgement that the shard's history has been retired or
+// migrated.
+func (r *Router) RemoveShard(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[id]
+	if sh == nil {
+		return fmt.Errorf("%w: shard %d", ErrUnknownShard, id)
+	}
+	if !sh.isDraining() {
+		return fmt.Errorf("%w: shard %d", ErrNotDraining, id)
+	}
+	delete(r.shards, id)
+	r.rebuildRingLocked()
+	r.logf("cluster: shard %d removed", id)
+	return nil
+}
+
+// MemberSpec is one shard in a membership config (the -route-config file
+// reloaded on SIGHUP).
+type MemberSpec struct {
+	Primary string `json:"primary"`
+	Standby string `json:"standby,omitempty"`
+}
+
+// ApplyMembership reconciles the fleet against a full desired member list
+// (the SIGHUP config-reload path): primaries present in specs but not in
+// the fleet are added (with their standbys); shards whose primary URL is
+// absent from specs are drained — not removed, so their jobs stay
+// readable until an operator explicitly retires them. Shards are matched
+// by primary URL (either role's URL matches a promoted shard). It returns
+// the added and drained shard IDs.
+func (r *Router) ApplyMembership(specs []MemberSpec) (added, drained []int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	want := make(map[string]bool, len(specs))
+	for _, m := range specs {
+		want[strings.TrimSuffix(strings.TrimSpace(m.Primary), "/")] = true
+	}
+	// Drain shards no longer in the desired set.
+	for id, sh := range r.shards {
+		sh.mu.Lock()
+		present := want[sh.primary.base] || (sh.standby != nil && want[sh.standby.base])
+		if !present && !sh.draining {
+			sh.draining = true
+			drained = append(drained, id)
+		}
+		sh.mu.Unlock()
+	}
+	// Add new shards.
+	known := func(base string) bool {
+		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+		for _, sh := range r.shards {
+			if sh.primary.base == base || (sh.standby != nil && sh.standby.base == base) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range specs {
+		if known(m.Primary) {
+			continue
+		}
+		id, aerr := r.addShardLocked(m.Primary, m.Standby)
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		added = append(added, id)
+	}
+	r.rebuildRingLocked()
+	sort.Ints(added)
+	sort.Ints(drained)
+	if len(added) > 0 || len(drained) > 0 {
+		r.logf("cluster: membership reload: added %v, drained %v", added, drained)
+	}
+	return added, drained, err
+}
+
+// BackendHealth is one shard's row in the cluster report.
 type BackendHealth struct {
-	// Shard is the backend's 1-based shard number (job IDs s<Shard>-…).
+	// Shard is the shard number (job IDs s<Shard>-…).
 	Shard int `json:"shard"`
-	// Base is the backend's root URL.
+	// Base is the shard's active endpoint URL — the daemon serving its
+	// reads and writes right now.
 	Base string `json:"base"`
-	// Healthy reports reachability as of this probe.
+	// Healthy reports the active endpoint's reachability as of this probe.
 	Healthy bool `json:"healthy"`
-	// Error is the transport failure that degraded the backend.
+	// Error is the failure that degraded the active endpoint.
 	Error string `json:"error,omitempty"`
-	// QueueDepth, Workers and Jobs mirror the backend's own /healthz
-	// report; zero/empty when the backend is unreachable.
+	// Standby is the shard's other endpoint (the replica, or the healed
+	// old primary after a failover); StandbyHealthy its reachability.
+	Standby        string `json:"standby,omitempty"`
+	StandbyHealthy bool   `json:"standby_healthy,omitempty"`
+	// Promoted reports that this shard has failed over at least once.
+	Promoted bool `json:"promoted,omitempty"`
+	// Draining marks the shard excluded from new placements.
+	Draining bool `json:"draining,omitempty"`
+	// QueueDepth, Workers and Jobs mirror the active endpoint's own
+	// /healthz report; zero/empty when it is unreachable.
 	QueueDepth int                   `json:"queue_depth,omitempty"`
 	Workers    int                   `json:"workers,omitempty"`
 	Jobs       map[service.State]int `json:"jobs,omitempty"`
 }
 
 // Health is the /v1/cluster payload: the fleet verdict plus one row per
-// backend.
+// shard.
 type Health struct {
-	// Status is "ok" when every backend is reachable, "degraded" when some
-	// are, and "down" when none is.
+	// Status is "ok" when every shard's active endpoint is reachable,
+	// "degraded" when some are, and "down" when none is.
 	Status string `json:"status"`
-	// Shards is the configured backend count; Healthy of them answered.
+	// Shards is the configured shard count; Healthy of them answered.
 	Shards   int                   `json:"shards"`
 	Healthy  int                   `json:"healthy"`
 	Jobs     map[service.State]int `json:"jobs,omitempty"`
 	Backends []BackendHealth       `json:"backends"`
 }
 
-// Health probes every backend live (bounded by ProbeTimeout each) and
-// reports per-backend reachability, queue depth and aggregated job counts.
-// The probe updates the routing health state, so reading /v1/cluster also
-// heals backends that have come back.
+// Health probes every endpoint live (bounded by ProbeTimeout each) and
+// reports per-shard reachability, roles, queue depth and aggregated job
+// counts. The probe updates the routing health state, so reading
+// /v1/cluster also heals backends that have come back.
 func (r *Router) Health(ctx context.Context) Health {
 	reports := r.probe(ctx)
+	shards := r.shardList()
 
-	out := Health{Shards: len(r.backends), Jobs: make(map[service.State]int)}
-	for i, b := range r.backends {
-		healthy, lastErr := b.state()
-		row := BackendHealth{Shard: b.shard, Base: b.base, Healthy: healthy, Error: lastErr}
+	out := Health{Shards: len(shards), Jobs: make(map[service.State]int)}
+	for i, sh := range shards {
+		sh.mu.Lock()
+		promoted, draining := sh.promoted, sh.draining
+		sh.mu.Unlock()
+		active, alt := sh.active(), sh.alternate()
+		healthy, lastErr := active.state()
+		row := BackendHealth{
+			Shard:    sh.id,
+			Base:     active.base,
+			Healthy:  healthy,
+			Error:    lastErr,
+			Promoted: promoted,
+			Draining: draining,
+		}
+		if alt != nil {
+			row.Standby = alt.base
+			row.StandbyHealthy, _ = alt.state()
+		}
 		if healthy {
 			out.Healthy++
 			row.QueueDepth = reports[i].QueueDepth
@@ -459,7 +975,7 @@ func (r *Router) Health(ctx context.Context) Health {
 		out.Backends = append(out.Backends, row)
 	}
 	switch out.Healthy {
-	case len(r.backends):
+	case len(shards):
 		out.Status = "ok"
 	case 0:
 		out.Status = "down"

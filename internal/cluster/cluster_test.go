@@ -376,7 +376,7 @@ func TestRouterHealthRecovers(t *testing.T) {
 	defer cancel()
 
 	// Degrade shard 1 via a failed direct read; the backend itself stays up.
-	tc.router.backends[0].setDegraded(context.DeadlineExceeded)
+	tc.router.shardByID(1).active().setDegraded(context.DeadlineExceeded)
 	var h Health
 	if err := tc.client.GetJSON(ctx, "/v1/cluster", &h); err != nil {
 		t.Fatal(err)
@@ -556,7 +556,7 @@ func TestRouterEventsIDErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("events on dead shard status = %d, want 502", resp.StatusCode)
 	}
-	if healthy, _ := tc.router.backends[1].state(); healthy {
+	if healthy, _ := tc.router.shardByID(2).active().state(); healthy {
 		t.Fatal("dead shard still marked healthy after a failed stream open")
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -139,6 +140,54 @@ func NewHandler(r *Router) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {
 		service.WriteJSON(w, http.StatusOK, r.Health(req.Context()))
+	})
+	mux.HandleFunc("POST /v1/cluster/backends", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			// Action is "add" (Primary required, Standby optional),
+			// "drain", "undrain" or "remove" (Shard required).
+			Action  string `json:"action"`
+			Primary string `json:"primary,omitempty"`
+			Standby string `json:"standby,omitempty"`
+			Shard   int    `json:"shard,omitempty"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			service.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding membership request: %w", err))
+			return
+		}
+		var err error
+		var shard int
+		switch body.Action {
+		case "add":
+			shard, err = r.AddShard(body.Primary, body.Standby)
+		case "drain":
+			shard, err = body.Shard, r.DrainShard(body.Shard, true)
+		case "undrain":
+			shard, err = body.Shard, r.DrainShard(body.Shard, false)
+		case "remove":
+			shard, err = body.Shard, r.RemoveShard(body.Shard)
+		default:
+			service.WriteError(w, http.StatusBadRequest,
+				fmt.Errorf("cluster: unknown membership action %q (want add, drain, undrain or remove)", body.Action))
+			return
+		}
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrUnknownShard):
+				service.WriteError(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrNotDraining):
+				service.WriteError(w, http.StatusConflict, err)
+			default:
+				service.WriteError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, map[string]any{
+			"action": body.Action,
+			"shard":  shard,
+			"shards": r.Shards(),
+		})
 	})
 	return mux
 }

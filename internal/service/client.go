@@ -192,6 +192,14 @@ func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
 	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
+// PostJSON performs a POST against an arbitrary API path, sending body as
+// JSON and decoding the response into out (either may be nil) — the POST
+// counterpart of GetJSON (hyperctl uses it for the router's membership
+// endpoint).
+func (c *Client) PostJSON(ctx context.Context, path string, body, out any) error {
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
 // List fetches jobs, optionally filtered to the given states (no states =
 // all jobs).
 func (c *Client) List(ctx context.Context, states ...State) ([]Job, error) {
@@ -329,6 +337,15 @@ func (c *Client) Watch(ctx context.Context, id JobID, fn func(Progress)) error {
 		return err
 	}
 	defer body.Close()
+	return DecodeEvents(ctx, body, fn)
+}
+
+// DecodeEvents consumes a raw SSE stream (as returned by OpenEvents),
+// invoking fn (which may be nil) for every decoded Progress snapshot in
+// order, with Watch's termination contract: nil after the terminal
+// snapshot, ErrStreamEnded if the stream closed without one. The cluster
+// router shares it so a failed-over stream decodes identically.
+func DecodeEvents(ctx context.Context, body io.Reader, fn func(Progress)) error {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var data []byte

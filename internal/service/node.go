@@ -1,0 +1,503 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypersolve/internal/store"
+)
+
+// A Node is one member of a replicated shard: a durable store plus a role.
+// A primary runs the full Service (workers, admission queue) and serves its
+// journal as a replication feed; a standby holds a replica store that tails
+// a primary's feed and serves read-only copies of its jobs. Promote flips a
+// standby to primary in place — the replica store goes read-write, jobs the
+// dead primary left running are re-queued and re-run, and the HTTP surface
+// swaps from the read-only handler to the full Service handler without the
+// listener noticing. Demote is the reverse: the healed old primary steps
+// down, discards its divergent tail, and re-syncs from scratch.
+//
+// Both roles serve the replication control surface:
+//
+//	GET  /v1/replication/journal?from=N  feed page (records or snapshot)
+//	GET  /v1/replication/status          role, epoch, LSN, lag
+//	POST /v1/replication/promote         standby → primary
+//	POST /v1/replication/demote          primary → standby ({"follow": url})
+type Node struct {
+	cfg NodeConfig
+
+	// inner holds the role-dependent part of the HTTP surface (the
+	// /v1/jobs API): the Service handler on a primary, the read-only
+	// standby handler otherwise. Swapped atomically at role transitions.
+	inner atomic.Value // http.Handler
+
+	mu        sync.Mutex
+	file      *store.File
+	svc       *Service // nil while standby
+	following string   // feed source URL; "" while primary
+
+	// pullMu guards the pull loop's status fields separately from n.mu:
+	// role transitions hold n.mu while joining the pull loop, so the loop
+	// must never need n.mu itself. Lock order: n.mu before pullMu.
+	pullMu    sync.Mutex
+	sourceLSN int64  // primary's LSN as of the last successful pull
+	pullErr   string // last pull failure, cleared by the next success
+	lastLag   int64  // most recently logged lag (rate-limits the report)
+
+	pullCancel context.CancelFunc
+	pullDone   chan struct{}
+	closed     bool
+}
+
+// NodeConfig configures one shard member.
+type NodeConfig struct {
+	// Dir is the durable store directory (required: replication is
+	// meaningless without a journal).
+	Dir string
+	// Store tunes the journal (Dir above overrides Store.Dir).
+	Store store.FileConfig
+	// Service sizes the solve service once (or while) the node is primary.
+	Service Config
+	// Follow, when non-empty, starts the node as a standby tailing the
+	// given primary's replication feed. Empty starts it as a primary.
+	Follow string
+	// PullEvery is the standby's tail cadence once caught up (<= 0
+	// defaults to 250ms); a lagging standby pulls continuously.
+	PullEvery time.Duration
+	// PullLimit caps records per feed page (<= 0 uses the store default).
+	PullLimit int
+	// HTTP is the transport for feed pulls; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Logf receives role transitions and the periodic lag report; nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// ReplicationStatus is the GET /v1/replication/status payload.
+type ReplicationStatus struct {
+	Role  string `json:"role"` // "primary" | "standby"
+	Epoch int64  `json:"epoch"`
+	LSN   int64  `json:"lsn"`
+	// Following and Lag describe a standby's tail: the feed source URL and
+	// how many records it trails the primary by (as of the last pull).
+	Following string `json:"following,omitempty"`
+	SourceLSN int64  `json:"source_lsn,omitempty"`
+	Lag       int64  `json:"lag"`
+	// LastError is the most recent pull failure, cleared on success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// PromoteResult is the POST /v1/replication/promote payload.
+type PromoteResult struct {
+	Role  string `json:"role"`
+	Epoch int64  `json:"epoch"`
+	// Requeued lists jobs the dead primary left running, now queued again
+	// on this node (empty on an idempotent re-promote).
+	Requeued []JobID `json:"requeued,omitempty"`
+}
+
+// NewNode opens the store at cfg.Dir and starts the node in its configured
+// role.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("service: node requires a store directory")
+	}
+	if cfg.PullEvery <= 0 {
+		cfg.PullEvery = 250 * time.Millisecond
+	}
+	n := &Node{cfg: cfg}
+	sc := cfg.Store
+	sc.Dir = cfg.Dir
+	sc.Replica = cfg.Follow != ""
+	f, err := store.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	n.file = f
+	if cfg.Follow != "" {
+		n.startStandby(cfg.Follow, false)
+	} else {
+		n.startPrimary()
+	}
+	return n, nil
+}
+
+// startPrimary spins up the Service over the (read-write) store and swaps
+// in the full handler. Callers hold n.mu or own the node exclusively.
+func (n *Node) startPrimary() {
+	sc := n.cfg.Service
+	sc.Store = n.file
+	n.svc = New(sc)
+	n.following = ""
+	n.inner.Store(NewHandler(n.svc))
+}
+
+// startStandby swaps in the read-only handler and starts the pull loop.
+// reset forces a from-zero pull, discarding local state in favour of a
+// fresh snapshot from the source (the demote path: a stepped-down primary
+// cannot trust its divergent tail). Callers hold n.mu or own the node
+// exclusively.
+func (n *Node) startStandby(follow string, reset bool) {
+	n.svc = nil
+	n.following = follow
+	n.inner.Store(newStandbyHandler(n))
+	ctx, cancel := context.WithCancel(context.Background())
+	n.pullCancel = cancel
+	n.pullDone = make(chan struct{})
+	go n.pullLoop(ctx, follow, reset)
+}
+
+// stopPuller cancels and joins the pull loop, if one is running. Callers
+// hold n.mu.
+func (n *Node) stopPuller() {
+	if n.pullCancel != nil {
+		n.pullCancel()
+		<-n.pullDone
+		n.pullCancel, n.pullDone = nil, nil
+	}
+}
+
+// pullLoop tails the source's replication feed into the replica store:
+// continuously while behind, at PullEvery once caught up. Pull failures are
+// retried forever — a dead primary is exactly when the standby must keep
+// trying (it may be promoted any moment, which cancels the loop).
+func (n *Node) pullLoop(ctx context.Context, follow string, reset bool) {
+	defer close(n.pullDone)
+	client := &Client{Base: follow, HTTP: n.cfg.HTTP}
+	first := true
+	for {
+		var from int64
+		if !reset || !first {
+			_, lsn := n.file.ReplicationState()
+			from = lsn + 1
+		}
+		first = false
+		page, err := client.ReplicationFeed(ctx, from, n.cfg.PullLimit)
+		var res store.FeedResult
+		if err == nil {
+			res, err = n.file.ApplyFeed(page)
+		}
+		n.pullMu.Lock()
+		if err != nil {
+			n.pullErr = err.Error()
+		} else {
+			n.pullErr = ""
+			n.sourceLSN = res.SourceLSN
+			_, lsn := n.file.ReplicationState()
+			if lag := res.SourceLSN - lsn; lag != n.lastLag {
+				n.lastLag = lag
+				if lag > 0 {
+					n.logf("replication: %d records behind %s", lag, follow)
+				} else if res.Snapshot {
+					n.logf("replication: reset from %s snapshot at lsn %d", follow, lsn)
+				}
+			}
+		}
+		n.pullMu.Unlock()
+		if err == nil && !res.Snapshot {
+			_, lsn := n.file.ReplicationState()
+			if res.SourceLSN > lsn {
+				// Still behind: pull the next page immediately.
+				select {
+				case <-ctx.Done():
+					return
+				default:
+					continue
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(n.cfg.PullEvery):
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Promote flips a standby to primary: the pull loop stops, the replica
+// store goes read-write (bumping the fencing epoch), and a full Service
+// starts over it — its recovery path re-admits every queued job, including
+// the ones the dead primary left running. Promoting a primary is a no-op
+// reporting the current epoch, so a router's retried promotion converges.
+func (n *Node) Promote() (PromoteResult, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return PromoteResult{}, ErrClosed
+	}
+	if n.svc != nil {
+		epoch, _ := n.file.ReplicationState()
+		return PromoteResult{Role: "primary", Epoch: epoch}, nil
+	}
+	n.stopPuller()
+	epoch, requeued, err := n.file.Promote()
+	if err != nil {
+		n.logf("replication: promotion journal write degraded: %v", err)
+	}
+	n.startPrimary()
+	res := PromoteResult{Role: "primary", Epoch: epoch}
+	for _, id := range requeued {
+		res.Requeued = append(res.Requeued, JobID{Seq: id})
+	}
+	n.logf("replication: promoted to primary at epoch %d (%d jobs re-queued)", epoch, len(res.Requeued))
+	return res, nil
+}
+
+// Demote steps a primary down to a standby following the given URL. The
+// service drains (running solves are interrupted, queued jobs cancelled —
+// their records are about to be discarded anyway), the store reopens in
+// replica mode, and the pull loop starts with a forced from-zero pull: a
+// stepped-down primary's post-divergence tail cannot be trusted, so it is
+// replaced wholesale by the new primary's snapshot. Demoting a standby just
+// retargets (and resets) its tail.
+func (n *Node) Demote(follow string) (ReplicationStatus, error) {
+	if follow == "" {
+		return ReplicationStatus{}, errors.New("service: demote requires a feed source url")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ReplicationStatus{}, ErrClosed
+	}
+	n.stopPuller()
+	if n.svc != nil {
+		n.svc.Close() // closes the store too
+	} else if err := n.file.Close(); err != nil && !errors.Is(err, store.ErrClosed) {
+		return ReplicationStatus{}, err
+	}
+	sc := n.cfg.Store
+	sc.Dir = n.cfg.Dir
+	sc.Replica = true
+	f, err := store.Open(sc)
+	if err != nil {
+		return ReplicationStatus{}, fmt.Errorf("service: reopening store as replica: %w", err)
+	}
+	n.file = f
+	n.pullMu.Lock()
+	n.sourceLSN, n.pullErr, n.lastLag = 0, "", 0
+	n.pullMu.Unlock()
+	n.startStandby(follow, true)
+	n.logf("replication: demoted to standby following %s (full re-sync)", follow)
+	return n.statusLocked(), nil
+}
+
+// Status reports the node's role, replication cursor, and tail health.
+func (n *Node) Status() ReplicationStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.statusLocked()
+}
+
+func (n *Node) statusLocked() ReplicationStatus {
+	epoch, lsn := n.file.ReplicationState()
+	st := ReplicationStatus{Epoch: epoch, LSN: lsn, Role: "primary"}
+	if n.svc == nil {
+		st.Role = "standby"
+		st.Following = n.following
+		n.pullMu.Lock()
+		st.SourceLSN = n.sourceLSN
+		st.LastError = n.pullErr
+		n.pullMu.Unlock()
+		if lag := st.SourceLSN - lsn; lag > 0 {
+			st.Lag = lag
+		}
+	}
+	return st
+}
+
+// Service returns the node's solve service while it is primary (nil on a
+// standby) — the process-internal handle for tests and embedders.
+func (n *Node) Service() *Service {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.svc
+}
+
+// Close stops the node: the pull loop, the service (when primary), and the
+// store. Idempotent.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.stopPuller()
+	svc, file := n.svc, n.file
+	n.mu.Unlock()
+	if svc != nil {
+		svc.Close()
+		return
+	}
+	_ = file.Close()
+}
+
+// Handler returns the node's full HTTP surface: the replication control
+// endpoints plus the role-dependent job API (full Service handler on a
+// primary, read-only store views on a standby). The handler stays valid
+// across role transitions.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replication/journal", func(w http.ResponseWriter, r *http.Request) {
+		from, err := queryInt64(r, "from")
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		limit, err := queryInt64(r, "limit")
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		page, err := n.file.Feed(from, int(limit))
+		if err != nil {
+			WriteError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(page)
+	})
+	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, n.Status())
+	})
+	mux.HandleFunc("POST /v1/replication/promote", func(w http.ResponseWriter, r *http.Request) {
+		res, err := n.Promote()
+		if err != nil {
+			WriteError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/replication/demote", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Follow string `json:"follow"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&body); err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding demote request: %w", err))
+			return
+		}
+		st, err := n.Demote(body.Follow)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if body.Follow == "" {
+				status = http.StatusBadRequest
+			}
+			WriteError(w, status, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, st)
+	})
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.inner.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	return mux
+}
+
+func queryInt64(r *http.Request, key string) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("service: query parameter %s must be a non-negative integer", key)
+	}
+	return v, nil
+}
+
+// ErrStandby rejects mutations addressed to a standby: the caller (usually
+// the router failing over a read) should submit to the primary.
+var ErrStandby = errors.New("service: standby is read-only (this node follows a primary)")
+
+// newStandbyHandler serves the job API read-only, straight from the replica
+// store: Get and List work (that is the point of a warm standby), mutations
+// are 503s naming the role, and event streams are served for terminal jobs
+// only (a standby has no live brokers; its view of a running job is a
+// replication tail, not a progress stream).
+func newStandbyHandler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	reject := func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusServiceUnavailable, ErrStandby)
+	}
+	mux.HandleFunc("POST /v1/jobs", reject)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", reject)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		states, err := StatesFromQuery(r)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		recs := n.file.List(states...)
+		jobs := make([]Job, 0, len(recs))
+		for _, sj := range recs {
+			jobs = append(jobs, jobFromRecord(sj))
+		}
+		WriteJSON(w, http.StatusOK, jobs)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		sj, found := n.file.Get(id)
+		if !found {
+			WriteError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		WriteJSON(w, http.StatusOK, jobFromRecord(sj))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		sj, found := n.file.Get(id)
+		if !found {
+			WriteError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		if !sj.State.Terminal() {
+			WriteError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("%w: live progress streams come from the primary", ErrStandby))
+			return
+		}
+		// Synthesize the terminal frame exactly as Service.Subscribe does
+		// for jobs finished before its process started.
+		p := Progress{State: sj.State, Error: sj.Error}
+		if len(sj.Result) > 0 {
+			var res struct {
+				Stats struct {
+					Steps int64 `json:"steps"`
+				} `json:"stats"`
+			}
+			if json.Unmarshal(sj.Result, &res) == nil {
+				p.Step = res.Stats.Steps
+			}
+		}
+		ch := make(chan Progress, 1)
+		ch <- p
+		close(ch)
+		ServeEvents(w, r, ch)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		counts := make(map[State]int)
+		for _, sj := range n.file.List() {
+			counts[sj.State]++
+		}
+		WriteJSON(w, http.StatusOK, Health{Status: "standby", Jobs: counts})
+	})
+	return mux
+}

@@ -288,6 +288,15 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 // jobFromStore decodes a persisted record into the API shape, attaching the
 // in-process raw result when one exists. Callers hold s.mu.
 func (s *Service) jobFromStore(sj store.Job) Job {
+	j := jobFromRecord(sj)
+	j.raw = s.raws[sj.ID]
+	return j
+}
+
+// jobFromRecord decodes a persisted record into the API shape. The standby
+// handler (see node.go) serves jobs straight from a replica store through
+// it, so the wire shape cannot diverge between a primary and its standby.
+func jobFromRecord(sj store.Job) Job {
 	j := Job{
 		ID:          JobID{Seq: sj.ID},
 		State:       sj.State,
@@ -295,7 +304,6 @@ func (s *Service) jobFromStore(sj store.Job) Job {
 		StartedAt:   sj.StartedAt,
 		FinishedAt:  sj.FinishedAt,
 		Error:       sj.Error,
-		raw:         s.raws[sj.ID],
 	}
 	// The spec bytes were produced by Submit's json.Marshal (or validated
 	// at recovery); decoding cannot fail.

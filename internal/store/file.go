@@ -39,6 +39,12 @@ type FileConfig struct {
 	// SnapshotEvery is the number of journal records between snapshot
 	// compactions (<= 0 selects DefaultSnapshotEvery).
 	SnapshotEvery int
+	// Replica opens the store in replica mode: direct mutations are
+	// rejected with ErrReplica, jobs left running by a crashed primary are
+	// NOT re-queued (the replica keeps mirroring the primary's view), and
+	// the only write path is ApplyFeed. Promote flips the store to
+	// read-write. See replication.go.
+	Replica bool
 }
 
 // File is the durable backend: a Memory view kept in lockstep with an
@@ -65,6 +71,17 @@ type File struct {
 	lock    *os.File // flock'd LockName handle; kernel-released on death
 	recs    int      // records in the current journal, drives compaction
 
+	// Replication state. Every record carries a log sequence number (LSN)
+	// that survives compaction and restarts; epoch is the fencing token
+	// bumped by each promotion. tail keeps the most recent records in
+	// memory — covering (baseLSN, lsn] — so Feed can serve a caught-up
+	// replica without touching the (possibly rotated) journal files.
+	lsn     int64
+	epoch   int64
+	baseLSN int64
+	tail    []rec
+	replica bool // read-only until Promote
+
 	// compacting marks a background compaction in flight; retryInline
 	// marks that the last one failed (the rotated journal still exists),
 	// so the next trigger compacts synchronously instead of rotating
@@ -80,22 +97,31 @@ type File struct {
 // while asserting that transitions do not block behind it.
 var testHookCompacting func()
 
-// rec is one journal line.
+// rec is one journal line. LSN is the record's log sequence number —
+// monotonic across compactions and restarts, the replication stream's
+// cursor. Records written before LSNs existed carry none and are assigned
+// one during replay. The "epoch" op records a promotion (see
+// replication.go); it carries no job transition.
 type rec struct {
-	Op     string          `json:"op"` // "submit" | "start" | "finish"
-	ID     int64           `json:"id"`
-	At     time.Time       `json:"at"`
+	Op     string          `json:"op"` // "submit" | "start" | "finish" | "epoch"
+	LSN    int64           `json:"lsn,omitempty"`
+	ID     int64           `json:"id,omitempty"`
+	At     time.Time       `json:"at,omitzero"`
 	Spec   json.RawMessage `json:"spec,omitempty"`
 	State  State           `json:"state,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Epoch  int64           `json:"epoch,omitempty"`
 }
 
-// snapshot is the compacted full state.
+// snapshot is the compacted full state. LSN is the last record folded in;
+// Epoch the fencing epoch at capture time.
 type snapshot struct {
 	NextID   int64   `json:"next_id"`
 	Finished []int64 `json:"finished"`
 	Jobs     []Job   `json:"jobs"`
+	LSN      int64   `json:"lsn,omitempty"`
+	Epoch    int64   `json:"epoch,omitempty"`
 }
 
 // Open loads (or creates) a durable store in cfg.Dir. Recovery is
@@ -135,6 +161,8 @@ func Open(cfg FileConfig) (*File, error) {
 			return fail(fmt.Errorf("store: corrupt snapshot %s: %w", SnapshotName, err))
 		}
 		f.mem.install(snap.NextID, snap.Finished, snap.Jobs)
+		f.lsn, f.epoch = snap.LSN, snap.Epoch
+		f.baseLSN = snap.LSN
 	} else if !os.IsNotExist(err) {
 		return fail(fmt.Errorf("store: %w", err))
 	}
@@ -150,7 +178,13 @@ func Open(cfg FileConfig) (*File, error) {
 	if err != nil {
 		return fail(err)
 	}
-	f.mem.requeueRunning()
+	f.replica = cfg.Replica
+	if !cfg.Replica {
+		// A primary re-queues whatever was running at crash time so the
+		// service re-runs it. A replica must not: its view mirrors the
+		// primary's, and the re-queue happens at Promote instead.
+		f.mem.requeueRunning()
+	}
 
 	journal, err := os.OpenFile(filepath.Join(cfg.Dir, JournalName),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -198,14 +232,7 @@ func (f *File) replay(name string) (good int64, applied int, err error) {
 		if json.Unmarshal(data[:nl], &r) != nil {
 			break // torn or corrupt record: discard it and everything after
 		}
-		switch r.Op {
-		case "submit":
-			f.mem.restoreSubmit(r.ID, r.Spec, r.At)
-		case "start":
-			f.mem.restoreStart(r.ID, r.At)
-		case "finish":
-			f.mem.restoreFinish(r.ID, r.State, r.At, r.Error, r.Result)
-		}
+		f.applyRec(r)
 		good += int64(nl + 1)
 		applied++
 		data = data[nl+1:]
@@ -213,12 +240,61 @@ func (f *File) replay(name string) (good int64, applied int, err error) {
 	return good, applied, nil
 }
 
-// append journals one record. The in-memory view has already been updated:
-// on a write error the view stays authoritative for this process and the
-// error reports the lost durability to the caller. Crossing the
+// applyRec folds one journal record into the in-memory view and advances
+// the replication cursor. Pre-LSN records (upgraded stores) are assigned
+// the next sequence number; LSN'd records already reflected in the view
+// (crash windows, replica catch-up) advance the cursor without mutating.
+func (f *File) applyRec(r rec) {
+	switch r.Op {
+	case "submit":
+		f.mem.restoreSubmit(r.ID, r.Spec, r.At)
+	case "start":
+		f.mem.restoreStart(r.ID, r.At)
+	case "finish":
+		f.mem.restoreFinish(r.ID, r.State, r.At, r.Error, r.Result)
+	case "epoch":
+		if r.Epoch > f.epoch {
+			f.epoch = r.Epoch
+		}
+	}
+	if r.LSN == 0 {
+		r.LSN = f.lsn + 1
+	}
+	if r.LSN > f.lsn {
+		f.lsn = r.LSN
+		f.tailPush(r)
+	}
+}
+
+// tailPush retains r in the in-memory feed tail, trimming it to the cap so
+// a slow replica costs bounded memory (it falls back to a snapshot
+// bootstrap once the tail no longer reaches back far enough).
+func (f *File) tailPush(r rec) {
+	f.tail = append(f.tail, r)
+	if cap := 2 * f.cfg.SnapshotEvery; len(f.tail) > cap {
+		drop := len(f.tail) - cap
+		f.tail = append(f.tail[:0:0], f.tail[drop:]...)
+	}
+	f.baseLSN = f.lsn - int64(len(f.tail))
+}
+
+// append journals one record on the primary write path: it stamps the next
+// LSN, retains the record in the feed tail, and hands it to the shared
+// write path. The in-memory view has already been updated: on a write
+// error the view stays authoritative for this process and the error
+// reports the lost durability to the caller.
+func (f *File) append(r rec) error {
+	r.LSN = f.lsn + 1
+	f.lsn = r.LSN
+	f.tailPush(r)
+	return f.appendLocked(r)
+}
+
+// appendLocked writes one already-LSN'd record to the journal. Crossing the
 // SnapshotEvery threshold rotates the journal aside and hands the snapshot
 // write to a background goroutine; the append itself pays only the rename.
-func (f *File) append(r rec) error {
+// Callers hold f.mu.
+func (f *File) appendLocked(r rec) error {
 	data, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -287,7 +363,7 @@ func (f *File) rotateAndCompact() error {
 	f.journal = fresh
 	f.recs = 0
 	f.compacting = true
-	go f.finishCompaction(rotated, snapshot{NextID: nextID, Finished: finished, Jobs: jobs})
+	go f.finishCompaction(rotated, snapshot{NextID: nextID, Finished: finished, Jobs: jobs, LSN: f.lsn, Epoch: f.epoch})
 	return nil
 }
 
@@ -333,7 +409,7 @@ func (f *File) finishCompaction(rotated *os.File, snap snapshot) {
 // and by the retry path after a failed background compaction.
 func (f *File) compactInline() error {
 	nextID, finished, jobs := f.mem.snapshotState()
-	if err := writeSnapshot(f.cfg.Dir, snapshot{NextID: nextID, Finished: finished, Jobs: jobs}); err != nil {
+	if err := writeSnapshot(f.cfg.Dir, snapshot{NextID: nextID, Finished: finished, Jobs: jobs, LSN: f.lsn, Epoch: f.epoch}); err != nil {
 		return err
 	}
 	if err := os.Remove(filepath.Join(f.cfg.Dir, JournalPrevName)); err != nil && !os.IsNotExist(err) {
@@ -397,6 +473,9 @@ func (f *File) Submit(spec json.RawMessage, at time.Time) (Job, error) {
 	if f.closed {
 		return Job{}, ErrClosed
 	}
+	if f.replica {
+		return Job{}, ErrReplica
+	}
 	j, err := f.mem.Submit(spec, at)
 	if err != nil {
 		return Job{}, err
@@ -422,6 +501,9 @@ func (f *File) Start(id int64, at time.Time) error {
 	if f.closed {
 		return ErrClosed
 	}
+	if f.replica {
+		return ErrReplica
+	}
 	if err := f.mem.Start(id, at); err != nil {
 		return err
 	}
@@ -435,6 +517,9 @@ func (f *File) Finish(id int64, state State, at time.Time, errMsg string, result
 	defer f.mu.Unlock()
 	if f.closed {
 		return nil, ErrClosed
+	}
+	if f.replica {
+		return nil, ErrReplica
 	}
 	evicted, err := f.mem.Finish(id, state, at, errMsg, result)
 	if err != nil {

@@ -179,7 +179,7 @@ func TestSnapshotCompaction(t *testing.T) {
 	}
 	// The live journal holds only the records since the last compaction
 	// (12 mod 5 = 2 records).
-	if info.Size() > 2*256 {
+	if info.Size() > 2*300 {
 		t.Fatalf("journal grew to %d bytes despite compaction", info.Size())
 	}
 
