@@ -17,16 +17,31 @@
 //     the file backend with per-record fsync,
 //   - the replication overhead: how fast a replica store applies a
 //     primary's WAL feed, and the wall-clock gap between a primary dying
-//     and the first read served through the router via its standby.
+//     and the first read served through the router via its standby,
+//   - the multi-core scaling matrix: the quick sweep and the service
+//     throughput burst re-run at GOMAXPROCS 1/2/4/8, each point recording
+//     its speedup over the 1-proc baseline and the parallel-scaling
+//     efficiency (speedup divided by procs) — the tracked regression
+//     surface for scheduler- and lock-contention regressions.
+//
+// Every report also records the host context the numbers were taken under:
+// runtime.NumCPU() and the container's cgroup CPU quota (cpu.max), so a
+// report from a 1-core CI container is never compared 1:1 against an
+// 8-core workstation without noticing.
 //
 // Usage:
 //
-//	go run ./cmd/bench                     # writes BENCH_PR3.json
-//	go run ./cmd/bench -o BENCH_PR4.json   # next PR's trajectory point
+//	go run ./cmd/bench                     # writes BENCH_PR7.json
+//	go run ./cmd/bench -o BENCH_PR8.json   # next PR's trajectory point
 //	go run ./cmd/bench -parallel 4         # explicit sweep parallelism
+//	go run ./cmd/bench -matrix-smoke       # CI gate: tiny 1-vs-2-proc matrix only
 //
-// Compare two reports by diffing their "benchmarks" entries (ns_per_op,
-// allocs_per_op) and the sweep block's "speedup".
+// -matrix-smoke runs a reduced matrix (procs 1 and 2, small workload),
+// prints it, and exits non-zero if the 2-proc sweep speedup falls below
+// 1.0x on a machine with at least two CPUs — a sanity floor, not a
+// scaling target. Compare full reports by diffing their "benchmarks"
+// entries (ns_per_op, allocs_per_op), the sweep block's "speedup" and the
+// matrix's "sweep_efficiency" column.
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
 	"hypersolve/internal/store"
+	"hypersolve/internal/telemetry"
 
 	hypersolve "hypersolve"
 )
@@ -103,23 +119,61 @@ type replicationEntry struct {
 	FailoverFirstReadMs float64 `json:"failover_first_read_ms"`
 }
 
+// matrixPoint is one GOMAXPROCS setting's row in the scaling matrix.
+// Speedups are relative to the matrix's own 1-proc row (the matrix uses a
+// smaller workload than the headline sweep/service entries, so its
+// absolute times are not comparable to theirs — only its scaling is).
+type matrixPoint struct {
+	Procs             int     `json:"procs"`
+	SweepSeconds      float64 `json:"sweep_seconds"`
+	SweepSpeedup      float64 `json:"sweep_speedup"`
+	SweepEfficiency   float64 `json:"sweep_efficiency"`
+	ServiceSeconds    float64 `json:"service_seconds"`
+	ServiceJobsPerSec float64 `json:"service_jobs_per_sec"`
+	ServiceSpeedup    float64 `json:"service_speedup"`
+	ServiceEfficiency float64 `json:"service_efficiency"`
+}
+
 type report struct {
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	CPUs        int              `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"num_cpu"`
+	// CPUQuota is the container's cgroup v2 cpu.max line ("max 100000"
+	// means unthrottled); empty when no cgroup quota file is readable.
+	CPUQuota    string           `json:"cpu_quota,omitempty"`
 	Benchmarks  []benchEntry     `json:"benchmarks"`
 	Sweep       sweepEntry       `json:"sweep"`
 	Service     serviceEntry     `json:"service"`
 	Store       []storeEntry     `json:"store"`
 	Replication replicationEntry `json:"replication"`
+	Matrix      []matrixPoint    `json:"matrix"`
+}
+
+// cpuQuota reads the container's cgroup v2 CPU limit; "" when not in a
+// cgroup (or on cgroup v1 hosts, where the numbers live elsewhere).
+func cpuQuota() string {
+	data, err := os.ReadFile("/sys/fs/cgroup/cpu.max")
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
 }
 
 func main() {
 	var (
-		out = flag.String("o", "BENCH_PR3.json", "output file")
-		par = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
+		out   = flag.String("o", "BENCH_PR7.json", "output file")
+		par   = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
+		smoke = flag.Bool("matrix-smoke", false,
+			"run only a reduced 1-vs-2-proc scaling matrix and fail if 2-proc sweep speedup < 1.0x (skipped on 1-CPU hosts)")
 	)
 	flag.Parse()
+	if *smoke {
+		if err := runMatrixSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *par <= 0 {
 		*par = runtime.GOMAXPROCS(0)
 	}
@@ -128,6 +182,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		CPUs:       runtime.NumCPU(),
+		CPUQuota:   cpuQuota(),
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: layer-1 flood (32x32 torus)...")
@@ -136,11 +191,21 @@ func main() {
 	fmt.Fprintln(os.Stderr, "bench: layer-1 flood with progress observer, no subscribers...")
 	observed := runBench("sim_flood_torus32x32_observed", benchFloodObserved)
 	rep.Benchmarks = append(rep.Benchmarks, observed)
+	fmt.Fprintln(os.Stderr, "bench: layer-1 flood with telemetry-counting observer...")
+	counted := runBench("sim_flood_torus32x32_observed_telemetry", benchFloodObservedTelemetry)
+	rep.Benchmarks = append(rep.Benchmarks, counted)
 	// Guard the streaming-progress contract: an attached observer with no
-	// subscribers must add zero allocations to the layer-1 hot path.
+	// subscribers must add zero allocations to the layer-1 hot path — and
+	// the telemetry step counter, riding the same publish cadence, must
+	// keep it that way.
 	if observed.AllocsPerOp > base.AllocsPerOp {
 		fmt.Fprintf(os.Stderr, "bench: FAIL: progress observer added allocations to the hot path (%d -> %d allocs/op)\n",
 			base.AllocsPerOp, observed.AllocsPerOp)
+		os.Exit(1)
+	}
+	if counted.AllocsPerOp > base.AllocsPerOp {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: telemetry step counter added allocations to the hot path (%d -> %d allocs/op)\n",
+			base.AllocsPerOp, counted.AllocsPerOp)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "bench: figure-4 point (uf50-218, 196-core 2D torus, RR)...")
@@ -153,7 +218,7 @@ func main() {
 	}
 	rep.Sweep = sweep
 	fmt.Fprintln(os.Stderr, "bench: service throughput (uf20 jobs through the queue at depth 64)...")
-	svcEntry, err := benchService(*par)
+	svcEntry, err := benchService(*par, 100)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -171,6 +236,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "bench: scaling matrix (sweep + service at GOMAXPROCS 1/2/4/8)...")
+	rep.Matrix, err = runMatrix([]int{1, 2, 4, 8}, matrixLoad{sweepProblems: 3, serviceJobs: 40})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -182,10 +253,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms)\n",
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms, sweep efficiency@2 %.2f)\n",
 		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
 		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec,
-		rep.Replication.TailRecordsPerSec, rep.Replication.FailoverFirstReadMs)
+		rep.Replication.TailRecordsPerSec, rep.Replication.FailoverFirstReadMs,
+		rep.Matrix[1].SweepEfficiency)
 	fmt.Print(string(data))
 }
 
@@ -280,6 +352,35 @@ func benchFloodObserved(b *testing.B) {
 	b.ReportMetric(float64(steps), "steps")
 }
 
+// benchFloodObservedTelemetry is benchFloodObserved with a telemetry step
+// counter attached to the broker — the exact configuration a serviced job
+// runs under now that the fleet counts steps. The counter is fed on the
+// observer's publish cadence only, so it must leave allocs/op untouched.
+func benchFloodObservedTelemetry(b *testing.B) {
+	topo := mesh.MustTorus(32, 32)
+	steps := telemetry.NewRegistry().Counter("bench_sim_steps_total", "bench-only step counter")
+	obs := service.NewProgressBroker().CountSteps(steps).Observer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := simulator.New(simulator.Config{
+			Topology: topo,
+			Factory:  func(mesh.NodeID) simulator.Handler { return &floodHandler{} },
+			Observer: obs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Inject(0, nil); err != nil {
+			b.Fatal(err)
+		}
+		stats := sim.Run()
+		if !stats.Quiescent {
+			b.Fatal("flood did not quiesce")
+		}
+	}
+	b.ReportMetric(float64(steps.Value()), "steps_counted")
+}
+
 func benchFigure4Point(b *testing.B) {
 	// The scalability workload family (uf50-218, one instance); the same
 	// generator parameters as experiments.DefaultWorkload and the root
@@ -353,14 +454,108 @@ func benchSweep(par int) (sweepEntry, error) {
 	}, nil
 }
 
+// matrixLoad sizes one scaling-matrix cell: the sweep's problem count per
+// point and the service burst's job count. The full report uses a medium
+// load; -matrix-smoke a minimal one.
+type matrixLoad struct {
+	sweepProblems int
+	serviceJobs   int
+}
+
+// sweepOnce runs a reduced figure-4 sweep at the given engine parallelism
+// and returns its wall-clock seconds — the matrix's unit of work.
+func sweepOnce(problems, parallelism int) (float64, error) {
+	w, err := experiments.SmallWorkload(1, problems)
+	if err != nil {
+		return 0, err
+	}
+	cfg := experiments.Figure4Config{
+		Workload:    w,
+		Series:      experiments.DefaultFigure4Series([]int{16, 64}, []int{27}, []int{16}),
+		Seed:        1,
+		Parallelism: parallelism,
+	}
+	start := time.Now()
+	if _, err := experiments.Figure4(cfg); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// runMatrix measures the sweep engine and the service burst at each
+// GOMAXPROCS setting, then normalises every row against the 1-proc row:
+// speedup = t1/tN, efficiency = speedup/procs. GOMAXPROCS is restored on
+// return. The engine/pool parallelism knobs track the procs value, so each
+// row measures the whole stack (runtime scheduler included) at that width.
+func runMatrix(procs []int, load matrixLoad) ([]matrixPoint, error) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	out := make([]matrixPoint, 0, len(procs))
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		sweepSec, err := sweepOnce(load.sweepProblems, p)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := benchService(p, load.serviceJobs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matrixPoint{
+			Procs:             p,
+			SweepSeconds:      sweepSec,
+			ServiceSeconds:    svc.Seconds,
+			ServiceJobsPerSec: svc.JobsPerSec,
+		})
+	}
+	base := out[0]
+	for i := range out {
+		pt := &out[i]
+		pt.SweepSpeedup = base.SweepSeconds / pt.SweepSeconds
+		pt.SweepEfficiency = pt.SweepSpeedup / float64(pt.Procs)
+		pt.ServiceSpeedup = base.ServiceSeconds / pt.ServiceSeconds
+		pt.ServiceEfficiency = pt.ServiceSpeedup / float64(pt.Procs)
+		fmt.Fprintf(os.Stderr, "bench:   procs=%d sweep %.2fs (%.2fx, eff %.2f) service %.1f jobs/s (%.2fx, eff %.2f)\n",
+			pt.Procs, pt.SweepSeconds, pt.SweepSpeedup, pt.SweepEfficiency,
+			pt.ServiceJobsPerSec, pt.ServiceSpeedup, pt.ServiceEfficiency)
+	}
+	return out, nil
+}
+
+// runMatrixSmoke is the CI gate: a minimal 1-vs-2-proc matrix whose only
+// assertion is that two procs are not slower than one. Anything below 1.0x
+// on a multi-core host means parallelism went actively negative — a lock
+// or scheduler regression, not noise. Single-CPU hosts skip the check
+// (there is no second core to scale onto) but still print the matrix.
+func runMatrixSmoke() error {
+	fmt.Fprintln(os.Stderr, "bench: matrix smoke (procs 1 vs 2, reduced load)...")
+	pts, err := runMatrix([]int{1, 2}, matrixLoad{sweepProblems: 2, serviceJobs: 12})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintln(os.Stderr, "bench: matrix smoke: single-CPU host, scaling floor check skipped")
+		return nil
+	}
+	if sp := pts[1].SweepSpeedup; sp < 1.0 {
+		return fmt.Errorf("matrix smoke: 2-proc sweep speedup %.2fx is below the 1.0x sanity floor", sp)
+	}
+	fmt.Fprintf(os.Stderr, "bench: matrix smoke ok (2-proc sweep speedup %.2fx)\n", pts[1].SweepSpeedup)
+	return nil
+}
+
 // benchService measures the solve service's end-to-end throughput: a burst
 // of uf20 SAT jobs pushed through the bounded admission queue (depth 64) and
 // a worker pool, counting jobs per second from first submit to last
 // completion. Submissions bounced by a full queue are retried, so the
 // figure includes admission backpressure, store bookkeeping and result
 // serialisation overhead, not just solve time.
-func benchService(workers int) (serviceEntry, error) {
-	const jobs = 100
+func benchService(workers, jobs int) (serviceEntry, error) {
 	const depth = 64
 	suite, err := hypersolve.GenerateSATSuite(sat.UF20Params(23))
 	if err != nil {

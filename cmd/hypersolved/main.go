@@ -35,7 +35,9 @@
 //	                                out and merged in router mode
 //	GET    /v1/jobs/{id}            job status + result; routed by shard in router mode
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
-//	GET    /healthz                 liveness + queue occupancy
+//	GET    /healthz                 liveness + queue occupancy + headline gauges
+//	GET    /metrics                 Prometheus text scrape (all modes; the router
+//	                                merges every backend's scrape, relabeled by shard)
 //	GET    /v1/replication/journal  WAL feed for standbys (durable nodes only)
 //	GET    /v1/replication/status   role, epoch, LSN, replication lag
 //	GET    /v1/cluster              per-shard health report (router mode only)

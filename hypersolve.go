@@ -45,6 +45,7 @@ import (
 	"hypersolve/internal/service"
 	"hypersolve/internal/simulator"
 	"hypersolve/internal/store"
+	"hypersolve/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -451,3 +452,18 @@ type ReplicationStatus = service.ReplicationStatus
 // NewSolveNode opens the node's durable store and starts it in the
 // configured role; Close stops it.
 func NewSolveNode(cfg SolveNodeConfig) (*SolveNode, error) { return service.NewNode(cfg) }
+
+// TelemetryRegistry is the process-wide metrics registry behind every
+// GET /metrics endpoint: counters, gauges and histograms with atomic
+// hot-path updates, encoded in Prometheus text exposition format. Hand
+// one registry to the service, store and node configs to scrape a whole
+// process as one snapshot. See internal/telemetry and docs/API.md.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryFamily is one named metric family in a scrape — the unit the
+// cluster router parses, relabels and merges when aggregating backend
+// scrapes.
+type TelemetryFamily = telemetry.Family
+
+// NewTelemetryRegistry returns an empty registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }

@@ -20,7 +20,11 @@
 // while existing sharded IDs keep routing by their encoded shard.
 //
 // GET /v1/cluster reports per-shard reachability, roles, promotions, queue
-// depth and job counts.
+// depth, job counts and the fleet's headline gauges (queue occupancy,
+// steps/sec, replication lag). GET /metrics serves the router's own
+// telemetry merged with every healthy backend's scrape, each series
+// relabeled with its shard/role/backend — the same fan-out/merge pattern
+// as the listing path, applied to the metrics plane.
 package cluster
 
 import (
@@ -32,11 +36,13 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"hypersolve/internal/service"
+	"hypersolve/internal/telemetry"
 )
 
 // Sentinel errors of the routing layer; the HTTP handler maps them onto
@@ -101,6 +107,21 @@ type Config struct {
 	// Logf receives failover and membership transitions; nil discards
 	// them.
 	Logf func(format string, args ...any)
+	// Telemetry receives the router's own metrics (failovers, promotions,
+	// spillovers, proxied streams, per-backend health). Nil allocates a
+	// private registry. GET /metrics merges this with the backends'
+	// scrapes.
+	Telemetry *telemetry.Registry
+}
+
+// routerMetrics bundles the counters bumped on the routing paths.
+type routerMetrics struct {
+	promotions     *telemetry.Counter
+	demotions      *telemetry.Counter
+	readFailovers  *telemetry.Counter
+	spillovers     *telemetry.Counter
+	proxiedStreams *telemetry.Counter
+	scrapeErrors   *telemetry.Counter
 }
 
 // endpoint is one daemon (a primary or a standby) plus the router's view of
@@ -108,6 +129,9 @@ type Config struct {
 type endpoint struct {
 	base   string
 	client *service.Client
+	// up mirrors the healthy flag into the router's telemetry registry,
+	// labeled by shard and URL (bound in addShardLocked).
+	up *telemetry.Gauge
 
 	mu      sync.Mutex
 	healthy bool
@@ -124,12 +148,14 @@ func (e *endpoint) setHealthy() {
 	e.healthy, e.lastErr = true, ""
 	e.probeFails, e.downSince = 0, time.Time{}
 	e.mu.Unlock()
+	e.up.Set(1)
 }
 
 func (e *endpoint) setDegraded(err error) {
 	e.mu.Lock()
 	e.healthy, e.lastErr = false, err.Error()
 	e.mu.Unlock()
+	e.up.Set(0)
 }
 
 // probeFailed records one failed background probe, degrading the endpoint
@@ -142,6 +168,7 @@ func (e *endpoint) probeFailed(err error, failAfter int) {
 		e.downSince = time.Now()
 	}
 	e.mu.Unlock()
+	e.up.Set(0)
 }
 
 func (e *endpoint) state() (healthy bool, lastErr string) {
@@ -226,6 +253,8 @@ type Router struct {
 	stop    chan struct{}
 	stopped sync.Once
 	done    chan struct{}
+
+	metrics routerMetrics
 }
 
 // New builds a router over cfg.Backends (shard i+1 = Backends[i], paired
@@ -254,12 +283,16 @@ func New(cfg Config) (*Router, error) {
 	if cfg.SubmitTimeout <= 0 {
 		cfg.SubmitTimeout = 15 * time.Second
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	r := &Router{
 		cfg:    cfg,
 		shards: make(map[int]*shard),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	r.registerMetrics()
 	for i, base := range cfg.Backends {
 		standby := ""
 		if i < len(cfg.Standbys) {
@@ -272,6 +305,38 @@ func New(cfg Config) (*Router, error) {
 	r.rebuildRingLocked()
 	go r.probeLoop()
 	return r, nil
+}
+
+// registerMetrics binds the router's own series. Counters survive shard
+// membership churn; the per-backend up gauges are bound per endpoint in
+// addShardLocked and removed with their shard.
+func (r *Router) registerMetrics() {
+	reg := r.cfg.Telemetry
+	r.metrics = routerMetrics{
+		promotions: reg.Counter("hypersolve_cluster_promotions_total",
+			"Standby promotions performed by the router's failover machine."),
+		demotions: reg.Counter("hypersolve_cluster_demotions_total",
+			"Stale primaries demoted back to standby after healing."),
+		readFailovers: reg.Counter("hypersolve_cluster_read_failovers_total",
+			"Point reads, listings and event streams served by a shard's alternate endpoint after the active one failed."),
+		spillovers: reg.Counter("hypersolve_cluster_submit_spillovers_total",
+			"Submissions placed past their ring-assigned shard because it was degraded or refused."),
+		proxiedStreams: reg.Counter("hypersolve_cluster_proxied_streams_total",
+			"SSE event streams proxied through the router to a backend."),
+		scrapeErrors: reg.Counter("hypersolve_cluster_scrape_errors_total",
+			"Backend /metrics scrapes that failed during aggregation."),
+	}
+	reg.GaugeFunc("hypersolve_cluster_shards",
+		"Shards currently fronted by the router.",
+		func() float64 { return float64(r.Shards()) })
+}
+
+// upGauge binds the per-backend reachability series for one endpoint.
+func (r *Router) upGauge(shardID int, base string) *telemetry.Gauge {
+	return r.cfg.Telemetry.Gauge("hypersolve_cluster_backend_up",
+		"Per-backend reachability as seen by the router (1 healthy, 0 degraded).",
+		telemetry.Label{Key: "shard", Value: strconv.Itoa(shardID)},
+		telemetry.Label{Key: "url", Value: base})
 }
 
 // newEndpoint normalises a base URL into an endpoint, checking it against
@@ -318,6 +383,12 @@ func (r *Router) addShardLocked(primary, standby string) (int, error) {
 	}
 	r.shards[sh.id] = sh
 	r.nextID = sh.id
+	sh.primary.up = r.upGauge(sh.id, sh.primary.base)
+	sh.primary.up.Set(1)
+	if sh.standby != nil {
+		sh.standby.up = r.upGauge(sh.id, sh.standby.base)
+		sh.standby.up.Set(1)
+	}
 	return sh.id, nil
 }
 
@@ -462,6 +533,7 @@ func (r *Router) reconcile() {
 			sh.mu.Lock()
 			sh.activeStandby, sh.promoted = true, true
 			sh.mu.Unlock()
+			r.metrics.promotions.Inc()
 			r.logf("cluster: shard %d failed over to %s (epoch %d, %d jobs re-queued)",
 				sh.id, standby.base, res.Epoch, len(res.Requeued))
 		default:
@@ -482,20 +554,24 @@ func (r *Router) reconcile() {
 			sh.primary, sh.standby = newPrimary, oldPrimary
 			sh.activeStandby = false
 			sh.mu.Unlock()
+			r.metrics.demotions.Inc()
 			r.logf("cluster: shard %d healed: %s demoted to standby of %s", sh.id, oldPrimary.base, newPrimary.base)
 		}
 	}
 }
 
 // probe checks every endpoint's /healthz concurrently (each attempt bounded
-// by ProbeTimeout), updating the degraded flags, and returns the active
-// endpoint's report per shard (zero Health where unreachable), keyed by
-// position in shardList. When the parent context is cancelled mid-probe
-// the remaining verdicts are discarded rather than recorded: an impatient
-// /v1/cluster caller must not degrade healthy backends.
-func (r *Router) probe(parent context.Context) []service.Health {
+// by ProbeTimeout), updating the degraded flags, and returns both the active
+// and alternate endpoints' reports per shard (zero Health where unreachable
+// or unreplicated), keyed by position in shardList. The alternate's report
+// carries the standby's replication lag. When the parent context is
+// cancelled mid-probe the remaining verdicts are discarded rather than
+// recorded: an impatient /v1/cluster caller must not degrade healthy
+// backends.
+func (r *Router) probe(parent context.Context) (active, standby []service.Health) {
 	shards := r.shardList()
-	reports := make([]service.Health, len(shards))
+	active = make([]service.Health, len(shards))
+	standby = make([]service.Health, len(shards))
 	var wg sync.WaitGroup
 	for i, sh := range shards {
 		probeOne := func(ep *endpoint, record *service.Health) {
@@ -510,20 +586,18 @@ func (r *Router) probe(parent context.Context) []service.Health {
 				return
 			}
 			ep.setHealthy()
-			if record != nil {
-				*record = h
-			}
+			*record = h
 		}
-		active, alt := sh.active(), sh.alternate()
+		act, alt := sh.active(), sh.alternate()
 		wg.Add(1)
-		go probeOne(active, &reports[i])
+		go probeOne(act, &active[i])
 		if alt != nil {
 			wg.Add(1)
-			go probeOne(alt, nil)
+			go probeOne(alt, &standby[i])
 		}
 	}
 	wg.Wait()
-	return reports
+	return active, standby
 }
 
 // Submit places the spec on its ring-assigned shard and returns the
@@ -544,6 +618,15 @@ func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job,
 	ring := r.ring
 	r.mu.RUnlock()
 	seq := ring.sequence(data)
+	// The ring's first live choice, for spillover accounting: landing
+	// anywhere else means placement walked past the assigned shard.
+	firstChoice := 0
+	for _, sid := range seq {
+		if sh := r.shardByID(sid); sh != nil && !sh.isDraining() {
+			firstChoice = sid
+			break
+		}
+	}
 	// First pass: healthy shards in ring order. Second pass: shards that
 	// were already degraded at entry — they may have just come back, and
 	// trying beats failing. Shards that failed during the first pass are
@@ -567,6 +650,9 @@ func (r *Router) Submit(ctx context.Context, spec service.JobSpec) (service.Job,
 			cancel()
 			if err == nil {
 				ep.setHealthy()
+				if sh.id != firstChoice {
+					r.metrics.spillovers.Inc()
+				}
 				job.ID.Shard = sh.id
 				return job, nil
 			}
@@ -627,6 +713,7 @@ func (r *Router) Get(ctx context.Context, id service.JobID) (service.Job, error)
 		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
 			if alt := sh.alternate(); alt != nil {
 				if job, altErr := getFrom(ctx, alt, id.Seq); altErr == nil {
+					r.metrics.readFailovers.Inc()
 					job.ID.Shard = sh.id
 					return job, nil
 				}
@@ -686,6 +773,7 @@ func (r *Router) openEvents(ctx context.Context, id service.JobID) (io.ReadClose
 		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
 			if alt := sh.alternate(); alt != nil {
 				if body, altErr := open(alt); altErr == nil {
+					r.metrics.readFailovers.Inc()
 					return body, alt, nil
 				}
 			}
@@ -740,7 +828,9 @@ func (r *Router) List(ctx context.Context, states ...service.State) (jobs []serv
 			if err != nil {
 				if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
 					if alt := sh.alternate(); alt != nil {
-						got, err = listFrom(alt)
+						if got, err = listFrom(alt); err == nil {
+							r.metrics.readFailovers.Inc()
+						}
 					}
 				}
 			}
@@ -831,6 +921,17 @@ func (r *Router) RemoveShard(id int) error {
 		return fmt.Errorf("%w: shard %d", ErrNotDraining, id)
 	}
 	delete(r.shards, id)
+	// Retire the shard's reachability series with it; a removed backend
+	// frozen at its last value would read as a live scrape target.
+	sh.mu.Lock()
+	for _, ep := range []*endpoint{sh.primary, sh.standby} {
+		if ep != nil {
+			r.cfg.Telemetry.Remove("hypersolve_cluster_backend_up",
+				telemetry.Label{Key: "shard", Value: strconv.Itoa(sh.id)},
+				telemetry.Label{Key: "url", Value: ep.base})
+		}
+	}
+	sh.mu.Unlock()
 	r.rebuildRingLocked()
 	r.logf("cluster: shard %d removed", id)
 	return nil
@@ -921,6 +1022,14 @@ type BackendHealth struct {
 	QueueDepth int                   `json:"queue_depth,omitempty"`
 	Workers    int                   `json:"workers,omitempty"`
 	Jobs       map[service.State]int `json:"jobs,omitempty"`
+	// Queued and StepsPerSec are the active endpoint's headline gauges:
+	// live admission-queue occupancy and aggregate simulator stepping rate.
+	Queued      int     `json:"queued,omitempty"`
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	// ReplicationLag is how many records the shard's standby trails its
+	// primary by, from the standby's own health report; absent when the
+	// shard is unreplicated or the standby is unreachable.
+	ReplicationLag int64 `json:"replication_lag,omitempty"`
 }
 
 // Health is the /v1/cluster payload: the fleet verdict plus one row per
@@ -930,10 +1039,15 @@ type Health struct {
 	// "degraded" when some are, and "down" when none is.
 	Status string `json:"status"`
 	// Shards is the configured shard count; Healthy of them answered.
-	Shards   int                   `json:"shards"`
-	Healthy  int                   `json:"healthy"`
-	Jobs     map[service.State]int `json:"jobs,omitempty"`
-	Backends []BackendHealth       `json:"backends"`
+	Shards  int                   `json:"shards"`
+	Healthy int                   `json:"healthy"`
+	Jobs    map[service.State]int `json:"jobs,omitempty"`
+	// Queued and StepsPerSec sum the healthy shards' headline gauges;
+	// MaxReplicationLag is the worst standby lag across the fleet.
+	Queued            int             `json:"queued,omitempty"`
+	StepsPerSec       float64         `json:"steps_per_sec,omitempty"`
+	MaxReplicationLag int64           `json:"max_replication_lag,omitempty"`
+	Backends          []BackendHealth `json:"backends"`
 }
 
 // Health probes every endpoint live (bounded by ProbeTimeout each) and
@@ -941,7 +1055,7 @@ type Health struct {
 // counts. The probe updates the routing health state, so reading
 // /v1/cluster also heals backends that have come back.
 func (r *Router) Health(ctx context.Context) Health {
-	reports := r.probe(ctx)
+	reports, standbyReports := r.probe(ctx)
 	shards := r.shardList()
 
 	out := Health{Shards: len(shards), Jobs: make(map[service.State]int)}
@@ -962,12 +1076,22 @@ func (r *Router) Health(ctx context.Context) Health {
 		if alt != nil {
 			row.Standby = alt.base
 			row.StandbyHealthy, _ = alt.state()
+			if row.StandbyHealthy {
+				row.ReplicationLag = standbyReports[i].ReplicationLag
+				if row.ReplicationLag > out.MaxReplicationLag {
+					out.MaxReplicationLag = row.ReplicationLag
+				}
+			}
 		}
 		if healthy {
 			out.Healthy++
 			row.QueueDepth = reports[i].QueueDepth
 			row.Workers = reports[i].Workers
 			row.Jobs = reports[i].Jobs
+			row.Queued = reports[i].Queued
+			row.StepsPerSec = reports[i].StepsPerSec
+			out.Queued += row.Queued
+			out.StepsPerSec += row.StepsPerSec
 			for st, n := range reports[i].Jobs {
 				out.Jobs[st] += n
 			}
@@ -983,4 +1107,56 @@ func (r *Router) Health(ctx context.Context) Health {
 		out.Status = "degraded"
 	}
 	return out
+}
+
+// Metrics assembles the fleet-wide scrape: the router's own registry plus
+// every healthy endpoint's /metrics, fetched concurrently (each bounded by
+// ProbeTimeout), with each backend series relabeled by shard, role and
+// backend URL before the merge — the listing path's fan-out/merge applied
+// to the metrics plane. Unreachable endpoints are skipped (and counted in
+// hypersolve_cluster_scrape_errors_total when a fetch fails outright), so a
+// dead shard degrades the aggregate instead of failing it.
+func (r *Router) Metrics(ctx context.Context) []telemetry.Family {
+	shards := r.shardList()
+	// Two slots per shard: active then alternate, so merge input order is
+	// deterministic regardless of goroutine completion order.
+	scraped := make([][]telemetry.Family, 2*len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		scrapeOne := func(slot int, shardID int, ep *endpoint, role string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+			defer cancel()
+			raw, err := ep.client.RawMetrics(cctx)
+			if err != nil {
+				r.metrics.scrapeErrors.Inc()
+				return
+			}
+			fams := telemetry.ParseText(raw)
+			telemetry.AddLabels(fams,
+				telemetry.Label{Key: "shard", Value: strconv.Itoa(shardID)},
+				telemetry.Label{Key: "role", Value: role},
+				telemetry.Label{Key: "backend", Value: ep.base})
+			scraped[slot] = fams
+		}
+		for k, ep := range []*endpoint{sh.active(), sh.alternate()} {
+			if ep == nil || !ep.isHealthy() {
+				continue
+			}
+			role := "active"
+			if k == 1 {
+				role = "standby"
+			}
+			wg.Add(1)
+			go scrapeOne(2*i+k, sh.id, ep, role)
+		}
+	}
+	wg.Wait()
+	groups := [][]telemetry.Family{r.cfg.Telemetry.Families()}
+	for _, fams := range scraped {
+		if fams != nil {
+			groups = append(groups, fams)
+		}
+	}
+	return telemetry.MergeFamilies(groups...)
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"hypersolve/internal/service"
+	"hypersolve/internal/telemetry"
 )
 
 // NewHandler wraps a router in the solve service's HTTP JSON surface, so a
@@ -20,7 +21,8 @@ import (
 //	GET    /v1/jobs/{id}/events proxy the owning shard's SSE progress stream
 //	DELETE /v1/jobs/{id}        cancel a job, routed by the ID's shard prefix
 //	GET    /healthz             router liveness (the process itself)
-//	GET    /v1/cluster          per-backend reachability, queue depth, job counts
+//	GET    /v1/cluster          per-backend reachability, queue depth, job counts, headline gauges
+//	GET    /metrics             fleet-wide Prometheus scrape: router series + relabeled backend series
 //
 // Error semantics mirror the daemon handler ({"error": "..."} bodies). A
 // backend's own HTTP verdict (404, 409, 429, 400, …) is relayed verbatim;
@@ -85,6 +87,7 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		defer body.Close()
+		r.metrics.proxiedStreams.Inc()
 		fl, ok := w.(http.Flusher)
 		if !ok {
 			service.WriteError(w, http.StatusInternalServerError,
@@ -140,6 +143,10 @@ func NewHandler(r *Router) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {
 		service.WriteJSON(w, http.StatusOK, r.Health(req.Context()))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WriteFamilies(w, r.Metrics(req.Context()))
 	})
 	mux.HandleFunc("POST /v1/cluster/backends", func(w http.ResponseWriter, req *http.Request) {
 		var body struct {

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hypersolve/internal/telemetry"
+)
+
+// TestRouterMetricsAggregation scrapes the router's GET /metrics after real
+// work has flowed through a two-shard fleet: the response must be valid
+// Prometheus text carrying the router's own series plus every backend's
+// series relabeled by shard — with one family header even when both shards
+// export the same family.
+func TestRouterMetricsAggregation(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	jobs := submitSpread(t, tc, ctx, 6)
+	for _, job := range jobs {
+		if _, err := tc.client.Wait(ctx, job.ID, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(tc.server.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Router-own series present.
+	for _, want := range []string{
+		"# TYPE hypersolve_cluster_shards gauge",
+		"hypersolve_cluster_shards 2",
+		`hypersolve_cluster_backend_up{shard="1"`,
+		`hypersolve_cluster_backend_up{shard="2"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("aggregated scrape missing %q", want)
+		}
+	}
+	// Backend series relabeled per shard (labels render sorted, so shard
+	// sits between role and state); both shards ran jobs, so both must
+	// appear under the same family.
+	for _, shard := range []string{`shard="1"`, `shard="2"`} {
+		if !strings.Contains(body, `,`+shard+`,state="done"} 3`) {
+			t.Errorf("aggregated scrape missing finished-jobs series for %s", shard)
+		}
+	}
+	if !strings.Contains(body, "hypersolve_jobs_finished_total{backend=") {
+		t.Error("backend series not labeled with backend URL")
+	}
+	if !strings.Contains(body, `role="active"`) {
+		t.Error("backend series not labeled with role")
+	}
+	if n := strings.Count(body, "# TYPE hypersolve_jobs_finished_total counter"); n != 1 {
+		t.Errorf("family header repeated %d times, want exactly 1 after the merge", n)
+	}
+
+	// The whole response must re-parse: the aggregate is itself valid
+	// exposition text a downstream Prometheus can scrape.
+	if fams := telemetry.ParseText(raw); len(fams) == 0 {
+		t.Fatal("aggregated scrape parsed to zero families")
+	}
+}
+
+// TestStandbyServesMetrics scrapes a standby node directly: the role gauge
+// must read 0 and the scrape must stay valid while the node is read-only.
+func TestStandbyServesMetrics(t *testing.T) {
+	rs := newReplicatedShard(t, 1)
+	resp, err := http.Get(rs.standbySrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standby GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "hypersolve_replication_role 0") {
+		t.Fatalf("standby scrape missing role gauge 0:\n%s", raw)
+	}
+	if fams := telemetry.ParseText(raw); len(fams) == 0 {
+		t.Fatal("standby scrape parsed to zero families")
+	}
+}

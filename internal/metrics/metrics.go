@@ -1,8 +1,12 @@
-// Package metrics collects and renders the measurements of the paper's
-// evaluation (Section V-C): computation time, interconnect activity (total
-// queued messages versus time) and node activity (total messages delivered
-// per node), plus the summary statistics and text renderings used to
-// regenerate the figures on a terminal.
+// Package metrics holds the measurement types of the paper's evaluation
+// (Section V-C): computation time, interconnect activity (total queued
+// messages versus time) and node activity (total messages delivered per
+// node). These are result-payload types, not a monitoring system — Series
+// and Heatmap are embedded in solve results and travel the HTTP API as the
+// job-result JSON wire format, with summary statistics and text renderings
+// (sparklines, ASCII plots, heatmap shading) layered on top for terminal
+// and report output. Operational telemetry — counters, gauges and
+// histograms scraped from /metrics — lives in internal/telemetry.
 package metrics
 
 import (

@@ -7,14 +7,27 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"hypersolve/internal/telemetry"
 )
 
-// Health is the /healthz payload: a liveness verdict plus queue occupancy.
+// Health is the /healthz payload: a liveness verdict plus queue occupancy
+// and the node's headline gauges. The cluster router folds these into
+// GET /v1/cluster, so what a probe sees here is what the fleet reports.
 type Health struct {
 	Status     string        `json:"status"`
 	QueueDepth int           `json:"queue_depth"`
 	Workers    int           `json:"workers"`
 	Jobs       map[State]int `json:"jobs"`
+	// Queued is the live admission-queue occupancy (distinct from
+	// QueueDepth, the configured bound).
+	Queued int `json:"queued"`
+	// StepsPerSec is the aggregate simulator stepping rate over running
+	// jobs (see Service.StepsPerSec).
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	// ReplicationLag is how many records this standby trails its primary
+	// by; only set on a standby's health report.
+	ReplicationLag int64 `json:"replication_lag,omitempty"`
 }
 
 // MaxSpecBytes bounds a submitted job spec (the CNF text dominates; 64 MiB
@@ -31,6 +44,7 @@ const MaxSpecBytes = 64 << 20
 //	GET    /v1/jobs/{id}/events stream progress   → 200 text/event-stream (SSE)
 //	DELETE /v1/jobs/{id}        cancel a job      → 200 Job (409 when already terminal)
 //	GET    /healthz             liveness + queue occupancy
+//	GET    /metrics             Prometheus text exposition of the service registry
 //
 // The list filter accepts repeated and comma-separated values
 // (?state=done&state=failed, ?state=queued,running); an unknown state is a
@@ -108,13 +122,27 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		depth, workers := s.Queue()
 		WriteJSON(w, http.StatusOK, Health{
-			Status:     "ok",
-			QueueDepth: depth,
-			Workers:    workers,
-			Jobs:       s.Counts(),
+			Status:      "ok",
+			QueueDepth:  depth,
+			Workers:     workers,
+			Jobs:        s.Counts(),
+			Queued:      s.Load(),
+			StepsPerSec: s.StepsPerSec(),
 		})
 	})
+	mux.HandleFunc("GET /metrics", MetricsHandler(s.Telemetry()))
 	return mux
+}
+
+// MetricsHandler serves a telemetry registry in Prometheus text
+// exposition format. Shared by the daemon handler, the replication
+// node's outer mux (so standbys are scrapable too) and the cluster
+// router's own-series path.
+func MetricsHandler(reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	}
 }
 
 // ReadJobSpec decodes a JobSpec request body, bounded by MaxSpecBytes and

@@ -13,6 +13,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"hypersolve/internal/telemetry"
 )
 
 // Client talks to a hypersolved server. The zero value is not usable; set
@@ -26,6 +28,24 @@ type Client struct {
 	// (queue full). The zero value selects the defaults; set
 	// Retry.MaxAttempts to 1 to surface 429s immediately.
 	Retry Retry
+	// Telemetry, when set, receives the client-side resilience counters:
+	// hypersolve_client_submit_retries_total (429 backoff resubmits),
+	// hypersolve_client_wait_retries_total (transient poll failures ridden
+	// out by Wait) and hypersolve_client_backoff_seconds_total. Nil skips
+	// all accounting.
+	Telemetry *telemetry.Registry
+}
+
+func (c *Client) counter(name, help string) *telemetry.Counter {
+	return c.Telemetry.Counter(name, help) // nil registry → nil no-op counter
+}
+
+func (c *Client) backoffAccount(d time.Duration) {
+	if c.Telemetry == nil {
+		return
+	}
+	c.Telemetry.Gauge("hypersolve_client_backoff_seconds_total",
+		"Cumulative time this client spent sleeping between retries.").Add(d.Seconds())
 }
 
 // Retry is Submit's backoff policy for queue-full (HTTP 429) rejections:
@@ -155,9 +175,13 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (Job, error) {
 		if err == nil || !IsOverloaded(err) || attempt >= attempts {
 			return job, err
 		}
-		if err := sleepCtx(ctx, delay/2+time.Duration(rand.Int64N(int64(delay/2)+1))); err != nil {
+		c.counter("hypersolve_client_submit_retries_total",
+			"Submissions retried after a queue-full (429) rejection.").Inc()
+		sleep := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		if err := sleepCtx(ctx, sleep); err != nil {
 			return Job{}, err
 		}
+		c.backoffAccount(sleep)
 		if delay *= 2; delay > maxDelay {
 			delay = maxDelay
 		}
@@ -230,6 +254,30 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return h, err
 }
 
+// RawMetrics fetches GET /metrics verbatim — Prometheus text, not JSON.
+// The cluster router scrapes backends through it for the aggregated
+// fleet exposition.
+func (c *Client) RawMetrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
 // waitMaxInterval caps Wait's backoff: however long a solve runs, the
 // client never polls less often than this.
 const waitMaxInterval = 2 * time.Second
@@ -275,6 +323,8 @@ func (c *Client) Wait(ctx context.Context, id JobID, initial time.Duration) (Job
 			if failures++; failures >= waitMaxGetFailures {
 				return job, fmt.Errorf("service: wait gave up after %d consecutive poll failures: %w", failures, err)
 			}
+			c.counter("hypersolve_client_wait_retries_total",
+				"Transient poll failures ridden out inside Wait.").Inc()
 		} else {
 			failures = 0
 			if job.State.Terminal() {

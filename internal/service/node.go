@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hypersolve/internal/store"
+	"hypersolve/internal/telemetry"
 )
 
 // A Node is one member of a replicated shard: a durable store plus a role.
@@ -50,6 +51,10 @@ type Node struct {
 	sourceLSN int64  // primary's LSN as of the last successful pull
 	pullErr   string // last pull failure, cleared by the next success
 	lastLag   int64  // most recently logged lag (rate-limits the report)
+
+	// pullErrors counts failed feed pulls across the node's lifetime
+	// (role flips included — the counter survives store reopens).
+	pullErrors *telemetry.Counter
 
 	pullCancel context.CancelFunc
 	pullDone   chan struct{}
@@ -112,21 +117,64 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.PullEvery <= 0 {
 		cfg.PullEvery = 250 * time.Millisecond
 	}
+	if cfg.Service.Telemetry == nil {
+		cfg.Service.Telemetry = telemetry.NewRegistry()
+	}
 	n := &Node{cfg: cfg}
 	sc := cfg.Store
 	sc.Dir = cfg.Dir
 	sc.Replica = cfg.Follow != ""
+	// One registry per node: store, service and replication metrics all
+	// land in it, and it is what GET /metrics serves in either role.
+	sc.Telemetry = cfg.Service.Telemetry
 	f, err := store.Open(sc)
 	if err != nil {
 		return nil, err
 	}
 	n.file = f
+	n.registerMetrics()
 	if cfg.Follow != "" {
 		n.startStandby(cfg.Follow, false)
 	} else {
 		n.startPrimary()
 	}
 	return n, nil
+}
+
+// Telemetry returns the node's metrics registry (shared with its store
+// and, while primary, its service).
+func (n *Node) Telemetry() *telemetry.Registry { return n.cfg.Service.Telemetry }
+
+// registerMetrics publishes the replication surface: role, epoch, the
+// local and source cursors, and the lag between them. All are sampled
+// from Status at scrape time, so they stay correct across role flips.
+func (n *Node) registerMetrics() {
+	reg := n.Telemetry()
+	n.pullErrors = reg.Counter("hypersolve_replication_pull_errors_total",
+		"Failed replication feed pulls.")
+	reg.GaugeFunc("hypersolve_replication_role",
+		"1 while primary, 0 while standby.", func() float64 {
+			if n.Status().Role == "primary" {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("hypersolve_replication_epoch",
+		"Fencing epoch, bumped by each promotion.", func() float64 {
+			return float64(n.Status().Epoch)
+		})
+	reg.GaugeFunc("hypersolve_replication_lsn",
+		"Local log sequence number.", func() float64 {
+			return float64(n.Status().LSN)
+		})
+	reg.GaugeFunc("hypersolve_replication_source_lsn",
+		"Feed source's LSN as of the last successful pull (standby only).", func() float64 {
+			return float64(n.Status().SourceLSN)
+		})
+	reg.GaugeFunc("hypersolve_replication_lag_records",
+		"Records this standby trails its primary by.", func() float64 {
+			return float64(n.Status().Lag)
+		})
 }
 
 // startPrimary spins up the Service over the (read-write) store and swaps
@@ -187,6 +235,7 @@ func (n *Node) pullLoop(ctx context.Context, follow string, reset bool) {
 		n.pullMu.Lock()
 		if err != nil {
 			n.pullErr = err.Error()
+			n.pullErrors.Inc()
 		} else {
 			n.pullErr = ""
 			n.sourceLSN = res.SourceLSN
@@ -281,6 +330,7 @@ func (n *Node) Demote(follow string) (ReplicationStatus, error) {
 	sc := n.cfg.Store
 	sc.Dir = n.cfg.Dir
 	sc.Replica = true
+	sc.Telemetry = n.Telemetry()
 	f, err := store.Open(sc)
 	if err != nil {
 		return ReplicationStatus{}, fmt.Errorf("service: reopening store as replica: %w", err)
@@ -400,6 +450,10 @@ func (n *Node) Handler() http.Handler {
 		}
 		WriteJSON(w, http.StatusOK, st)
 	})
+	// Registered on the outer mux so the node is scrapable in both roles;
+	// the registry is shared with the store and (while primary) the
+	// service, so one scrape sees the whole node.
+	mux.HandleFunc("GET /metrics", MetricsHandler(n.Telemetry()))
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n.inner.Load().(http.Handler).ServeHTTP(w, r)
 	}))
@@ -497,7 +551,11 @@ func newStandbyHandler(n *Node) http.Handler {
 		for _, sj := range n.file.List() {
 			counts[sj.State]++
 		}
-		WriteJSON(w, http.StatusOK, Health{Status: "standby", Jobs: counts})
+		WriteJSON(w, http.StatusOK, Health{
+			Status:         "standby",
+			Jobs:           counts,
+			ReplicationLag: n.Status().Lag,
+		})
 	})
 	return mux
 }

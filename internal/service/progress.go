@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hypersolve/internal/simulator"
+	"hypersolve/internal/telemetry"
 )
 
 // Progress is a throttled snapshot of a job's execution, streamed to
@@ -62,6 +63,13 @@ var ErrTooManySubscribers = errors.New("service: too many event subscribers for 
 // broker closes every channel — is always the last value a subscriber
 // receives. All methods are safe for concurrent use.
 type ProgressBroker struct {
+	// steps accumulates executed simulator steps into the service's
+	// telemetry registry. Deltas are added on the observer's throttled
+	// publish cadence (plus a remainder at Finish), never per step, so
+	// the solve loop's cost is unchanged. Nil (a no-op) outside a
+	// service — set before the broker is shared, read-only after.
+	steps *telemetry.Counter
+
 	mu   sync.Mutex
 	subs map[int]chan Progress
 	next int
@@ -72,6 +80,15 @@ type ProgressBroker struct {
 
 // NewProgressBroker returns an empty broker.
 func NewProgressBroker() *ProgressBroker { return &ProgressBroker{} }
+
+// CountSteps attaches a telemetry counter that receives executed-step
+// deltas on the publish cadence (the service wires this automatically; the
+// bench harness uses it to measure the instrumented path). Call before the
+// broker is shared. Returns the broker for chaining.
+func (b *ProgressBroker) CountSteps(c *telemetry.Counter) *ProgressBroker {
+	b.steps = c
+	return b
+}
 
 // Publish delivers a snapshot to every subscriber, conflating with any
 // undelivered previous snapshot. Publishing a snapshot with a terminal
@@ -122,10 +139,25 @@ func (b *ProgressBroker) Finish(state State, errMsg string, res *JobResult) {
 	p.Error = errMsg
 	p.StepsPerSec = 0
 	if res != nil {
+		// Count the steps run since the observer's last publish (all of
+		// them, for a short job that never crossed the publish cadence).
+		b.steps.Add(res.Stats.Steps - p.Step)
 		p.Step = res.Stats.Steps
 		p.Queued = 0
 	}
 	b.Publish(p)
+}
+
+// LastRate returns the stepping rate of the latest running snapshot, zero
+// once the stream has finished. The service sums this across live brokers
+// for the fleet-facing steps/sec gauge.
+func (b *ProgressBroker) LastRate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return 0
+	}
+	return b.last.StepsPerSec
 }
 
 // Subscribe registers a subscriber and returns its snapshot channel plus an
@@ -197,6 +229,7 @@ func (o *progressObserver) AfterStep(step int64, queued int) {
 		ElapsedMs:   now.Sub(o.started).Milliseconds(),
 		StepsPerSec: float64(step-o.lastStep) / since.Seconds(),
 	})
+	o.b.steps.Add(step - o.lastStep)
 	o.lastPub = now
 	o.lastStep = step
 }

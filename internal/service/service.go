@@ -15,6 +15,7 @@ import (
 	"hypersolve/internal/sat"
 	"hypersolve/internal/simulator"
 	"hypersolve/internal/store"
+	"hypersolve/internal/telemetry"
 )
 
 // State is a job's lifecycle stage (defined by the persistence layer; the
@@ -123,14 +124,33 @@ type Config struct {
 	// the service durable — on startup, jobs the previous process left
 	// queued or running are re-admitted and run again.
 	Store store.Store
+	// Telemetry receives the service's metrics (queue depth/capacity,
+	// worker occupancy, job lifecycle counters, solve-duration histogram,
+	// simulator step counters). Nil allocates a private registry, so
+	// instruments always work; pass the process registry to have them
+	// scraped on GET /metrics.
+	Telemetry *telemetry.Registry
+}
+
+// serviceMetrics bundles the instruments updated on the job lifecycle
+// paths. Gauges sampled at scrape time (queue depth, steps/sec) are
+// registered as GaugeFuncs in New and don't appear here.
+type serviceMetrics struct {
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+	finished  map[State]*telemetry.Counter
+	duration  *telemetry.Histogram
+	busy      *telemetry.Gauge
+	steps     *telemetry.Counter
 }
 
 // Service is a long-lived multi-tenant solve backend: a pluggable job
 // store, a bounded FIFO admission queue, and a worker pool draining it.
 // All methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	store store.Store
+	cfg     Config
+	store   store.Store
+	metrics serviceMetrics
 
 	mu      sync.Mutex
 	wake    *sync.Cond // signalled when pending grows or the service closes
@@ -171,6 +191,9 @@ func New(cfg Config) *Service {
 	if cfg.History <= 0 {
 		cfg.History = 4096
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	st := cfg.Store
 	if st == nil {
 		st = store.NewMemory(cfg.History)
@@ -184,6 +207,7 @@ func New(cfg Config) *Service {
 		brokers: make(map[int64]*ProgressBroker),
 		done:    make(chan struct{}),
 	}
+	s.registerMetrics()
 	s.wake = sync.NewCond(&s.mu)
 	s.root, s.cancelRoot = context.WithCancel(context.Background())
 	s.recover()
@@ -205,6 +229,76 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// registerMetrics creates the service's instruments. Counters and
+// histograms are shared by name across re-registrations, so a service
+// rebuilt into the same registry (a standby promoted to primary) keeps
+// accumulating; GaugeFunc callbacks are rebound to this instance.
+func (s *Service) registerMetrics() {
+	reg := s.cfg.Telemetry
+	s.metrics = serviceMetrics{
+		submitted: reg.Counter("hypersolve_jobs_submitted_total",
+			"Jobs accepted by the admission queue."),
+		rejected: reg.Counter("hypersolve_jobs_rejected_total",
+			"Submissions rejected because the admission queue was full (HTTP 429)."),
+		finished: map[State]*telemetry.Counter{
+			StateDone: reg.Counter("hypersolve_jobs_finished_total",
+				"Jobs that reached a terminal state, by outcome.", telemetry.Label{Key: "state", Value: string(StateDone)}),
+			StateFailed: reg.Counter("hypersolve_jobs_finished_total",
+				"Jobs that reached a terminal state, by outcome.", telemetry.Label{Key: "state", Value: string(StateFailed)}),
+			StateCancelled: reg.Counter("hypersolve_jobs_finished_total",
+				"Jobs that reached a terminal state, by outcome.", telemetry.Label{Key: "state", Value: string(StateCancelled)}),
+		},
+		duration: reg.Histogram("hypersolve_solve_duration_seconds",
+			"Wall time a worker spent executing one job, any outcome.", telemetry.DurationBuckets),
+		busy: reg.Gauge("hypersolve_workers_busy",
+			"Workers currently executing a job."),
+		steps: reg.Counter("hypersolve_sim_steps_total",
+			"Layer-1 simulator steps executed, summed over all jobs."),
+	}
+	reg.GaugeFunc("hypersolve_queue_depth",
+		"Jobs waiting in the admission queue.", func() float64 { return float64(s.Load()) })
+	reg.GaugeFunc("hypersolve_queue_capacity",
+		"Admission queue bound; submissions beyond it are rejected.", func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("hypersolve_workers",
+		"Configured solve worker count.", func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("hypersolve_sim_steps_per_sec",
+		"Aggregate stepping rate over currently running jobs.", s.StepsPerSec)
+}
+
+// newBroker returns a progress broker wired into the service's step
+// counter. Must be called before the broker is shared (see
+// ProgressBroker.steps).
+func (s *Service) newBroker() *ProgressBroker {
+	b := NewProgressBroker()
+	b.steps = s.metrics.steps
+	return b
+}
+
+// Telemetry returns the registry holding the service's metrics (the one
+// from Config, or the private default). The HTTP layer serves it on
+// GET /metrics.
+func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
+
+// Load returns the current admission-queue occupancy.
+func (s *Service) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// StepsPerSec sums the latest observed stepping rate across running jobs.
+// The figure lags reality by up to ProgressInterval per job; it is a
+// health headline, not an accounting number.
+func (s *Service) StepsPerSec() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	for _, b := range s.brokers {
+		sum += b.LastRate()
+	}
+	return sum
+}
+
 // recover re-admits every job the store reports as queued. Specs were
 // validated at original admission; one that no longer compiles (version
 // skew in the spec format, say) is failed rather than wedging the queue.
@@ -224,7 +318,7 @@ func (s *Service) recover() {
 			continue
 		}
 		s.builds[sj.ID] = &built
-		s.brokers[sj.ID] = NewProgressBroker()
+		s.brokers[sj.ID] = s.newBroker()
 		s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 		s.pending = append(s.pending, sj.ID)
 	}
@@ -271,14 +365,16 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		return Job{}, ErrClosed
 	}
 	if len(s.pending) >= s.cfg.QueueDepth {
+		s.metrics.rejected.Inc()
 		return Job{}, ErrQueueFull
 	}
 	sj, err := s.store.Submit(raw, time.Now().UTC())
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	s.metrics.submitted.Inc()
 	s.builds[sj.ID] = &built
-	s.brokers[sj.ID] = NewProgressBroker()
+	s.brokers[sj.ID] = s.newBroker()
 	s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 	s.pending = append(s.pending, sj.ID)
 	s.wake.Signal()
@@ -429,6 +525,7 @@ func (s *Service) finishLocked(id int64, state State, errMsg string, result *Job
 	// store's in-memory view already reflects the transition and stays
 	// authoritative for this process.
 	evicted, _ := s.store.Finish(id, state, time.Now().UTC(), errMsg, raw)
+	s.metrics.finished[state].Inc()
 	if b := s.brokers[id]; b != nil {
 		b.Finish(state, errMsg, result)
 		delete(s.brokers, id)
@@ -511,7 +608,11 @@ func (s *Service) runJob(id int64) {
 	s.mu.Unlock()
 	defer cancel()
 
+	s.metrics.busy.Add(1)
+	runStart := time.Now()
 	res, raw, runErr := execute(ctx, spec, built, obs)
+	s.metrics.duration.Observe(time.Since(runStart).Seconds())
+	s.metrics.busy.Add(-1)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"hypersolve/internal/telemetry"
 )
 
 // File names inside a File store's directory: the write-ahead journal, the
@@ -45,6 +47,23 @@ type FileConfig struct {
 	// the only write path is ApplyFeed. Promote flips the store to
 	// read-write. See replication.go.
 	Replica bool
+	// Telemetry receives the store's metrics (journal size/records,
+	// compaction count and duration, replay time, fsync latency). Nil
+	// allocates a private registry. A store reopened into the same
+	// registry — a standby demoted back to replica mode — keeps
+	// accumulating into the same counters.
+	Telemetry *telemetry.Registry
+}
+
+// fileMetrics bundles the instruments updated on the journal write and
+// compaction paths; scrape-time gauges (live record count, journal bytes)
+// are GaugeFuncs registered in Open.
+type fileMetrics struct {
+	records           *telemetry.Counter
+	compactions       *telemetry.Counter
+	compactionSeconds *telemetry.Histogram
+	fsyncSeconds      *telemetry.Histogram
+	replaySeconds     *telemetry.Gauge
 }
 
 // File is the durable backend: a Memory view kept in lockstep with an
@@ -59,8 +78,9 @@ type FileConfig struct {
 // at crash time; every replay step is idempotent, so a crash anywhere in
 // the compaction pipeline converges to the same state.
 type File struct {
-	cfg FileConfig
-	mem *Memory
+	cfg     FileConfig
+	mem     *Memory
+	metrics fileMetrics
 
 	// mu serialises mutations (journal appends, rotation, close); reads go
 	// straight to the Memory view under its own lock, so they are never
@@ -146,8 +166,12 @@ func Open(cfg FileConfig) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	f := &File{cfg: cfg, mem: NewMemory(cfg.History), lock: lock}
 	f.idle = sync.NewCond(&f.mu)
+	f.registerMetrics()
 	fail := func(err error) (*File, error) {
 		if lock != nil {
 			lock.Close()
@@ -155,6 +179,7 @@ func Open(cfg FileConfig) (*File, error) {
 		return nil, err
 	}
 
+	replayStart := time.Now()
 	if data, err := os.ReadFile(filepath.Join(cfg.Dir, SnapshotName)); err == nil {
 		var snap snapshot
 		if err := json.Unmarshal(data, &snap); err != nil {
@@ -208,7 +233,41 @@ func Open(cfg FileConfig) (*File, error) {
 			return fail(err)
 		}
 	}
+	f.metrics.replaySeconds.Set(time.Since(replayStart).Seconds())
 	return f, nil
+}
+
+// registerMetrics creates the store's instruments in cfg.Telemetry.
+// GaugeFunc callbacks are rebound to this File, so the registry keeps
+// reporting the live instance across reopens.
+func (f *File) registerMetrics() {
+	reg := f.cfg.Telemetry
+	f.metrics = fileMetrics{
+		records: reg.Counter("hypersolve_store_records_total",
+			"Records appended to the write-ahead journal."),
+		compactions: reg.Counter("hypersolve_store_compactions_total",
+			"Snapshot compactions completed (background and inline)."),
+		compactionSeconds: reg.Histogram("hypersolve_store_compaction_seconds",
+			"Wall time of one snapshot compaction.", telemetry.DurationBuckets),
+		fsyncSeconds: reg.Histogram("hypersolve_store_fsync_seconds",
+			"Latency of one per-record journal fsync (only populated with Fsync on).", telemetry.FsyncBuckets),
+		replaySeconds: reg.Gauge("hypersolve_store_replay_seconds",
+			"Time Open spent replaying the snapshot and journals."),
+	}
+	reg.GaugeFunc("hypersolve_store_journal_records",
+		"Records in the live journal since the last compaction.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.recs)
+		})
+	reg.GaugeFunc("hypersolve_store_journal_bytes",
+		"Size of the live journal file.", func() float64 {
+			fi, err := os.Stat(filepath.Join(f.cfg.Dir, JournalName))
+			if err != nil {
+				return 0
+			}
+			return float64(fi.Size())
+		})
 }
 
 // replay applies one journal file to the in-memory view, stopping at the
@@ -303,10 +362,13 @@ func (f *File) appendLocked(r rec) error {
 		return fmt.Errorf("store: journal append: %w", err)
 	}
 	if f.cfg.Fsync {
+		syncStart := time.Now()
 		if err := f.journal.Sync(); err != nil {
 			return fmt.Errorf("store: journal sync: %w", err)
 		}
+		f.metrics.fsyncSeconds.Observe(time.Since(syncStart).Seconds())
 	}
+	f.metrics.records.Inc()
 	f.recs++
 	if f.recs < f.cfg.SnapshotEvery || f.compacting {
 		return nil
@@ -375,6 +437,7 @@ func (f *File) finishCompaction(rotated *os.File, snap snapshot) {
 	if testHookCompacting != nil {
 		testHookCompacting()
 	}
+	compactStart := time.Now()
 	err := func() error {
 		// Settle the rotated journal first: the snapshot must never be the
 		// only durable copy of records the journal still owns.
@@ -399,6 +462,9 @@ func (f *File) finishCompaction(rotated *os.File, snap snapshot) {
 	if err != nil {
 		f.retryInline = true
 		f.compactErr = err
+	} else {
+		f.metrics.compactions.Inc()
+		f.metrics.compactionSeconds.Observe(time.Since(compactStart).Seconds())
 	}
 	f.idle.Broadcast()
 	f.mu.Unlock()
@@ -408,6 +474,7 @@ func (f *File) finishCompaction(rotated *os.File, snap snapshot) {
 // both journals, all under f.mu — the synchronous fallback used by Open
 // and by the retry path after a failed background compaction.
 func (f *File) compactInline() error {
+	compactStart := time.Now()
 	nextID, finished, jobs := f.mem.snapshotState()
 	if err := writeSnapshot(f.cfg.Dir, snapshot{NextID: nextID, Finished: finished, Jobs: jobs, LSN: f.lsn, Epoch: f.epoch}); err != nil {
 		return err
@@ -422,6 +489,8 @@ func (f *File) compactInline() error {
 		return fmt.Errorf("store: truncating journal: %w", err)
 	}
 	f.recs = 0
+	f.metrics.compactions.Inc()
+	f.metrics.compactionSeconds.Observe(time.Since(compactStart).Seconds())
 	return nil
 }
 

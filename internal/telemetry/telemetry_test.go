@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildGoldenRegistry constructs the registry rendered in
+// testdata/golden.prom: one of each instrument kind, label escaping,
+// and multiple series per family registered out of order.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	// Registered out of lexicographic order on purpose: encoding must sort.
+	r.Counter("zeta_events_total", "Events seen.").Add(7)
+	r.Counter("alpha_requests_total", "Requests by verb.", Label{"verb", "get"}).Add(3)
+	r.Counter("alpha_requests_total", "Requests by verb.", Label{"verb", "delete"}).Add(1)
+	r.Gauge("queue_depth", "Jobs waiting for a worker.").Set(4)
+	r.GaugeFunc("workers", "Configured worker count.", func() float64 { return 2 })
+	r.Gauge("weird_label", "Label escaping.", Label{"path", `a"b\c` + "\nd"}).Set(1)
+	h := r.Histogram("solve_seconds", "Solve wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(30)
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoder output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildGoldenRegistry().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildGoldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two identical registries encoded differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := ParseText(buf.Bytes())
+	var re bytes.Buffer
+	if err := WriteFamilies(&re, fams); err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != buf.String() {
+		t.Errorf("parse/write round trip not identical.\n--- original ---\n%s\n--- round-tripped ---\n%s", buf.String(), re.String())
+	}
+	// Histogram child samples must fold into their family, not become
+	// families of their own.
+	for _, f := range fams {
+		if f.Name == "solve_seconds_bucket" || f.Name == "solve_seconds_sum" || f.Name == "solve_seconds_count" {
+			t.Errorf("histogram sample %q parsed as its own family", f.Name)
+		}
+	}
+}
+
+func TestRelabelAndMerge(t *testing.T) {
+	mk := func(v int64) []Family {
+		r := NewRegistry()
+		r.Counter("jobs_done_total", "Finished jobs.").Add(v)
+		return r.Families()
+	}
+	s1, s2 := mk(5), mk(9)
+	AddLabels(s1, Label{"shard", "1"})
+	AddLabels(s2, Label{"shard", "2"})
+	merged := MergeFamilies(s1, s2)
+	if len(merged) != 1 {
+		t.Fatalf("merged families = %d, want 1", len(merged))
+	}
+	var out bytes.Buffer
+	if err := WriteFamilies(&out, merged); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Count(text, "# TYPE jobs_done_total counter") != 1 {
+		t.Errorf("TYPE header not deduplicated:\n%s", text)
+	}
+	for _, want := range []string{`jobs_done_total{shard="1"} 5`, `jobs_done_total{shard="2"} 9`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("backend_up", "", Label{"shard", "1"}).Set(1)
+	r.Gauge("backend_up", "", Label{"shard", "2"}).Set(1)
+	r.Remove("backend_up", Label{"shard", "1"})
+	var out bytes.Buffer
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `shard="1"`) {
+		t.Errorf("removed series still present:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `shard="2"`) {
+		t.Errorf("surviving series missing:\n%s", out.String())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	var nilReg *Registry
+	if nilReg.Counter("x", "") != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	nilReg.GaugeFunc("y", "", func() float64 { return 1 })
+	if fams := nilReg.Families(); fams != nil {
+		t.Errorf("nil registry families = %v, want nil", fams)
+	}
+}
+
+// TestConcurrentIncrements hammers every instrument kind from many
+// goroutines while another encodes, relying on -race in CI to flag
+// unsynchronized access.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sink bytes.Buffer
+			if err := r.WriteText(&sink); err != nil {
+				t.Errorf("WriteText during writes: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", []float64{0.5})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				h.Observe(0.75)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	close(stop)
+	<-done
+
+	if got := r.Counter("conc_total", "").Value(); got != workers*perG {
+		t.Errorf("counter = %d, want %d", got, workers*perG)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != workers*perG {
+		t.Errorf("gauge = %v, want %d", got, workers*perG)
+	}
+	h := r.Histogram("conc_seconds", "", nil)
+	if got := h.Count(); got != 2*workers*perG {
+		t.Errorf("histogram count = %d, want %d", got, 2*workers*perG)
+	}
+	if got, want := h.Sum(), float64(workers*perG)*(0.25+0.75); got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
