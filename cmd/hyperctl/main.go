@@ -12,6 +12,9 @@
 //	        -progress streams the server's SSE events instead and renders a
 //	        live step/queue/rate line while the solve runs
 //	cancel  cancel a queued or running job
+//	trace   print a job's span timeline; default output is an ASCII
+//	        waterfall (compile → admission → queue → run with durations and
+//	        annotations), -json dumps the raw timeline instead
 //	health  print the server's liveness report
 //	cluster print a router's per-shard health report, or change membership:
 //	        cluster add-backend -primary URL [-standby URL] adds a shard,
@@ -50,18 +53,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"hypersolve/internal/cluster"
 	"hypersolve/internal/service"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 func main() {
 	addr := flag.String("addr", envOr("HYPERSOLVED_ADDR", "http://localhost:8080"), "hypersolved base URL")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("hyperctl", version.String())
+		return
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -74,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|health|cluster|replication} [flags]\n")
+	fmt.Fprintf(os.Stderr, "usage: hyperctl [-addr URL] {submit|status|list|wait|cancel|trace|health|cluster|replication} [flags]\n")
 	flag.PrintDefaults()
 }
 
@@ -91,6 +102,8 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 		return wait(ctx, client, args)
 	case "cancel":
 		return cancel(ctx, client, args)
+	case "trace":
+		return trace(ctx, client, args)
 	case "health":
 		h, err := client.Health(ctx)
 		if err != nil {
@@ -106,7 +119,7 @@ func dispatch(client *service.Client, cmd string, args []string) error {
 		}
 		return printJSON(st)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|health|cluster|replication)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want submit|status|list|wait|cancel|trace|health|cluster|replication)", cmd)
 	}
 }
 
@@ -366,6 +379,144 @@ func cancel(ctx context.Context, client *service.Client, args []string) error {
 		return err
 	}
 	return printJSON(job)
+}
+
+// trace fetches a job's span timeline and renders it as an ASCII
+// waterfall: one row per span, indented under its parent, with a bar
+// positioned by start offset and scaled by duration. -json dumps the raw
+// timeline document instead (for piping into jq or dashboards).
+func trace(ctx context.Context, client *service.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw timeline JSON instead of the waterfall")
+	// Accept "trace 3 -json" like wait does.
+	var idArg string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		idArg, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case idArg == "" && fs.NArg() == 1:
+		idArg = fs.Arg(0)
+	case idArg != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("usage: hyperctl trace <id> [-json]")
+	}
+	id, err := parseID(idArg)
+	if err != nil {
+		return err
+	}
+	jt, err := client.Trace(ctx, id)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(jt)
+	}
+	renderWaterfall(jt)
+	return nil
+}
+
+// renderWaterfall prints one row per span: an indented name, a bar whose
+// offset and width are the span's position in the trace window, and the
+// duration. Open spans (the job is still queued or running) get a "…"
+// tail; instant spans (requeued) a "·" tick. Annotations print beneath
+// their span.
+func renderWaterfall(jt service.JobTrace) {
+	fmt.Printf("trace %s  job %s  %s\n", jt.TraceID, jt.JobID, jt.State)
+	if len(jt.Spans) == 0 {
+		fmt.Println("  (no spans recorded — the job predates tracing)")
+		return
+	}
+	// The trace window: earliest start to latest known instant.
+	t0 := jt.Spans[0].Start
+	tEnd := t0
+	for _, sp := range jt.Spans {
+		if sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+		if sp.End.After(tEnd) {
+			tEnd = sp.End
+		}
+		if sp.Start.After(tEnd) {
+			tEnd = sp.Start
+		}
+	}
+	window := tEnd.Sub(t0)
+	const cols = 40
+	nameWidth := 0
+	for _, sp := range jt.Spans {
+		if w := len(sp.Name) + 2*depthOf(jt.Spans, sp); w > nameWidth {
+			nameWidth = w
+		}
+	}
+	for _, sp := range jt.Spans {
+		indent := strings.Repeat("  ", depthOf(jt.Spans, sp))
+		name := indent + sp.Name
+		start := int(float64(sp.Start.Sub(t0)) / float64(window+1) * cols)
+		bar := make([]byte, cols)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		var tail string
+		switch {
+		case !sp.End.IsZero() && sp.End.Equal(sp.Start):
+			// Instant span (e.g. requeued): a single tick.
+			bar[min(start, cols-1)] = '+'
+			tail = fmt.Sprintf("@ +%s", fmtMs(sp.Start.Sub(t0)))
+		case sp.End.IsZero():
+			for i := start; i < cols; i++ {
+				bar[i] = '='
+			}
+			tail = fmt.Sprintf("+%s … still open", fmtMs(sp.Start.Sub(t0)))
+		default:
+			width := int(float64(sp.End.Sub(sp.Start)) / float64(window+1) * cols)
+			if width < 1 {
+				width = 1
+			}
+			for i := start; i < start+width && i < cols; i++ {
+				bar[i] = '='
+			}
+			tail = fmt.Sprintf("%8.3fms  +%s", sp.DurationMs, fmtMs(sp.Start.Sub(t0)))
+		}
+		if len(sp.Attrs) > 0 {
+			var kv []string
+			for k, v := range sp.Attrs {
+				kv = append(kv, fmt.Sprintf("%s=%v", k, v))
+			}
+			sort.Strings(kv)
+			tail += "  " + strings.Join(kv, " ")
+		}
+		fmt.Printf("  %-*s |%s| %s\n", nameWidth, name, string(bar), tail)
+		for _, a := range sp.Annotations {
+			fmt.Printf("  %-*s  %s· %s (+%s)\n", nameWidth, "", strings.Repeat(" ", cols/2), a.Text, fmtMs(a.At.Sub(t0)))
+		}
+	}
+	fmt.Printf("  window: %s across %d spans\n", fmtMs(window), len(jt.Spans))
+}
+
+// depthOf computes a span's indent depth by chasing parent IDs.
+func depthOf(spans []tracelog.Span, sp tracelog.Span) int {
+	depth := 0
+	for sp.Parent != 0 {
+		found := false
+		for _, p := range spans {
+			if p.ID == sp.Parent {
+				sp, found = p, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		depth++
+	}
+	return depth
+}
+
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
 }
 
 // parseID accepts both wire forms transparently: a bare sequence number

@@ -34,6 +34,7 @@
 //	GET    /v1/jobs                 list jobs (?state=done,failed filters); fanned
 //	                                out and merged in router mode
 //	GET    /v1/jobs/{id}            job status + result; routed by shard in router mode
+//	GET    /v1/jobs/{id}/trace      the job's span timeline (admission → queue → run …)
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
 //	GET    /healthz                 liveness + queue occupancy + headline gauges
 //	GET    /metrics                 Prometheus text scrape (all modes; the router
@@ -69,6 +70,14 @@
 // endpoints left the file; it never removes a shard outright (drain first,
 // then remove via the API once its jobs are no longer needed).
 //
+// Observability: every request is access-logged through the structured
+// logger (-log-level debug|info|warn|error, -log-format text|json), gets
+// an X-Request-Id echoed on the response, and carries any inbound W3C
+// traceparent into the trace the service records per job (hyperctl
+// trace <id> renders it). -pprof-addr exposes net/http/pprof on a
+// separate private listener; -version prints the stamped build identity
+// (set at link time via -ldflags "-X hypersolve/internal/version.Version=...").
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight HTTP requests finish, queued jobs are cancelled and running
 // solves are interrupted at the next cancellation slice. A graceful
@@ -83,6 +92,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,7 +102,15 @@ import (
 	"hypersolve/internal/cluster"
 	"hypersolve/internal/service"
 	"hypersolve/internal/store"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
+
+// logger is the process-wide structured logger, built from -log-level and
+// -log-format before any mode starts. Every subsystem (HTTP access log,
+// replication node, cluster router) derives from it, so one pair of flags
+// governs the whole process.
+var logger *tracelog.Logger
 
 func main() {
 	var (
@@ -121,9 +139,33 @@ func main() {
 			"router mode: grace period a primary stays down before its standby is promoted")
 		submitTimeout = flag.Duration("submit-timeout", 15*time.Second,
 			"router mode: per-backend bound on one submission attempt during the ring walk")
+		logLevel = flag.String("log-level", "info",
+			"minimum log severity: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text",
+			"log line encoding: text (human) or json (one object per line)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this private address (empty = disabled); keep it off the public listener")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
-	var err error
+	if *showVersion {
+		fmt.Println("hypersolved", version.String())
+		return
+	}
+	lvl, err := tracelog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hypersolved:", err)
+		os.Exit(2)
+	}
+	format, err := tracelog.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hypersolved:", err)
+		os.Exit(2)
+	}
+	logger = tracelog.New(os.Stderr, lvl, format)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 	if *route != "" || *routeConfig != "" {
 		err = runRouter(*addr, routerOptions{
 			route:         *route,
@@ -152,8 +194,11 @@ func runServe(addr string, queue, workers int, dataDir string, fsync bool, snaps
 		}
 		svc := service.New(cfg)
 		depth, pool := svc.Queue()
-		banner := fmt.Sprintf("hypersolved: listening on %s (queue depth %d, %d workers)", addr, depth, pool)
-		return serve(addr, service.NewHandler(svc), banner, svc.Close, nil)
+		logger.Info("listening",
+			tracelog.A("mode", "serve"), tracelog.A("addr", addr),
+			tracelog.A("queue_depth", depth), tracelog.A("workers", pool),
+			tracelog.A("version", version.String()))
+		return serve(addr, service.NewHandler(svc), svc.Close, nil)
 	}
 	// Durable daemons run as replication nodes: same solve service, plus
 	// the WAL feed standbys tail and the promote/demote control surface.
@@ -163,21 +208,23 @@ func runServe(addr string, queue, workers int, dataDir string, fsync bool, snaps
 		Service:   cfg,
 		Follow:    follow,
 		PullEvery: pullEvery,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "hypersolved: "+format+"\n", args...)
-		},
+		Logger:    logger,
 	})
 	if err != nil {
 		return err
 	}
 	st := node.Status()
-	banner := fmt.Sprintf("hypersolved: listening on %s as %s (store %s, epoch %d, lsn %d",
-		addr, st.Role, dataDir, st.Epoch, st.LSN)
-	if follow != "" {
-		banner += ", following " + follow
+	attrs := []tracelog.Attr{
+		tracelog.A("mode", "durable"), tracelog.A("addr", addr),
+		tracelog.A("role", st.Role), tracelog.A("store", dataDir),
+		tracelog.A("epoch", st.Epoch), tracelog.A("lsn", st.LSN),
+		tracelog.A("version", version.String()),
 	}
-	banner += ")"
-	return serve(addr, node.Handler(), banner, node.Close, nil)
+	if follow != "" {
+		attrs = append(attrs, tracelog.A("following", follow))
+	}
+	logger.Info("listening", attrs...)
+	return serve(addr, node.Handler(), node.Close, nil)
 }
 
 type routerOptions struct {
@@ -199,9 +246,7 @@ func runRouter(addr string, opt routerOptions) error {
 		FailAfter:     opt.failAfter,
 		PromoteAfter:  opt.promoteAfter,
 		SubmitTimeout: opt.submitTimeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "hypersolved: "+format+"\n", args...)
-		},
+		Logger:        logger,
 	}
 	if opt.configFile != "" {
 		members, err := readMembers(opt.configFile)
@@ -227,20 +272,41 @@ func runRouter(addr string, opt routerOptions) error {
 		reload = func() {
 			members, err := readMembers(opt.configFile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hypersolved: SIGHUP reload failed:", err)
+				logger.Error("SIGHUP reload failed", tracelog.A("error", err.Error()))
 				return
 			}
 			added, drained, err := r.ApplyMembership(members)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hypersolved: SIGHUP reload failed:", err)
+				logger.Error("SIGHUP reload failed", tracelog.A("error", err.Error()))
 				return
 			}
-			fmt.Fprintf(os.Stderr, "hypersolved: reloaded %s: %d shards (added %v, drained %v)\n",
-				opt.configFile, r.Shards(), added, drained)
+			logger.Info("membership reloaded",
+				tracelog.A("file", opt.configFile), tracelog.A("shards", r.Shards()),
+				tracelog.A("added", fmt.Sprint(added)), tracelog.A("drained", fmt.Sprint(drained)))
 		}
 	}
-	banner := fmt.Sprintf("hypersolved: routing on %s across %d shards", addr, r.Shards())
-	return serve(addr, cluster.NewHandler(r), banner, r.Close, reload)
+	logger.Info("routing",
+		tracelog.A("mode", "router"), tracelog.A("addr", addr),
+		tracelog.A("shards", r.Shards()), tracelog.A("version", version.String()))
+	return serve(addr, cluster.NewHandler(r), r.Close, reload)
+}
+
+// servePprof exposes net/http/pprof on its own private listener. The
+// handlers are mounted on a dedicated mux (never the public API mux), so
+// profiling stays opt-in and off the service surface; deployments bind it
+// to localhost or a management network.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", tracelog.A("addr", addr))
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("pprof server failed", tracelog.A("error", err.Error()))
+	}
 }
 
 // readMembers parses a -route-config file: a JSON array of
@@ -260,14 +326,17 @@ func readMembers(path string) ([]cluster.MemberSpec, error) {
 	return members, nil
 }
 
-// serve runs the HTTP loop shared by all modes: listen, print the banner,
-// and on SIGINT/SIGTERM drain in-flight requests before closing the
-// service (node or router) behind the handler. A non-nil reload hook runs
-// on every SIGHUP (router membership refresh).
-func serve(addr string, handler http.Handler, banner string, closeBackend func(), reload func()) error {
+// serve runs the HTTP loop shared by all modes: listen, and on
+// SIGINT/SIGTERM drain in-flight requests before closing the service
+// (node or router) behind the handler. A non-nil reload hook runs on
+// every SIGHUP (router membership refresh). Every request passes through
+// the tracelog middleware: X-Request-Id is stamped/echoed, the inbound
+// traceparent lands in the request context, and one access-log line is
+// emitted per request.
+func serve(addr string, handler http.Handler, closeBackend func(), reload func()) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           handler,
+		Handler:           tracelog.Middleware(logger, handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -287,7 +356,6 @@ func serve(addr string, handler http.Handler, banner string, closeBackend func()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintln(os.Stderr, banner)
 
 	select {
 	case err := <-errc:
@@ -295,7 +363,7 @@ func serve(addr string, handler http.Handler, banner string, closeBackend func()
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "hypersolved: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)

@@ -31,6 +31,7 @@
 package hypersolve
 
 import (
+	"io"
 	"net/http"
 
 	"hypersolve/internal/apps"
@@ -46,6 +47,8 @@ import (
 	"hypersolve/internal/simulator"
 	"hypersolve/internal/store"
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // ---------------------------------------------------------------------------
@@ -373,6 +376,48 @@ type JobProgressBroker = service.ProgressBroker
 
 // NewJobProgressBroker returns an empty progress broker.
 func NewJobProgressBroker() *JobProgressBroker { return service.NewProgressBroker() }
+
+// JobTrace is a job's span timeline as served by GET /v1/jobs/{id}/trace
+// and rendered by `hyperctl trace`: the job's identity and state plus
+// every recorded span (compile → admission → queue → run, with a
+// journal-append child under admission, an instant requeued span after
+// crash recovery or failover re-runs, and a replica_apply span stamped by
+// standbys). Trace IDs follow the W3C traceparent header end-to-end, so
+// a caller-supplied trace continues through router and shard.
+type JobTrace = service.JobTrace
+
+// TraceSpan is one interval in a JobTrace: name, parent, start/end
+// instants, duration and optional attributes and step annotations.
+type TraceSpan = tracelog.Span
+
+// TraceTimeline is the raw span list of one trace (JobTrace embeds it).
+type TraceTimeline = tracelog.Timeline
+
+// TraceContext is a W3C trace-context pair (trace ID + parent span ID);
+// parse one from an inbound traceparent header with ParseTraceparent or
+// mint one with NewTraceContext to root a trace at the caller.
+type TraceContext = tracelog.TraceContext
+
+// NewTraceContext mints a fresh trace context (random trace + span IDs).
+func NewTraceContext() TraceContext { return tracelog.NewTraceContext() }
+
+// ParseTraceparent parses a W3C traceparent header value.
+func ParseTraceparent(s string) (TraceContext, bool) { return tracelog.ParseTraceparent(s) }
+
+// StructuredLogger is the dependency-free leveled JSON/text logger used
+// across the fleet (hypersolved -log-level / -log-format); hand one to
+// SolveNodeConfig.Logger or ClusterConfig.Logger to capture replication
+// and failover decisions. A nil *StructuredLogger is a no-op.
+type StructuredLogger = tracelog.Logger
+
+// NewStructuredLogger builds a logger writing one record per line to w.
+func NewStructuredLogger(w io.Writer, level tracelog.Level, format tracelog.Format) *StructuredLogger {
+	return tracelog.New(w, level, format)
+}
+
+// BuildVersion reports the build identity stamped into the binary at link
+// time ("dev (unknown)" for plain `go build`).
+func BuildVersion() string { return version.String() }
 
 // JobStore is the pluggable persistence backend of a SolveService: the
 // in-memory map, or the durable WAL-journal + snapshot file backend.

@@ -43,6 +43,8 @@ import (
 
 	"hypersolve/internal/service"
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // Sentinel errors of the routing layer; the HTTP handler maps them onto
@@ -104,9 +106,9 @@ type Config struct {
 	// Retry is the submission backoff policy applied per backend attempt
 	// (see service.Retry); the zero value selects the client defaults.
 	Retry service.Retry
-	// Logf receives failover and membership transitions; nil discards
-	// them.
-	Logf func(format string, args ...any)
+	// Logger receives failover and membership transitions as structured
+	// records; nil discards them.
+	Logger *tracelog.Logger
 	// Telemetry receives the router's own metrics (failovers, promotions,
 	// spillovers, proxied streams, per-backend health). Nil allocates a
 	// private registry. GET /metrics merges this with the backends'
@@ -329,6 +331,10 @@ func (r *Router) registerMetrics() {
 	reg.GaugeFunc("hypersolve_cluster_shards",
 		"Shards currently fronted by the router.",
 		func() float64 { return float64(r.Shards()) })
+	reg.Gauge("hypersolve_build_info",
+		"Build identity of this process; the value is always 1, the identity lives in the labels.",
+		telemetry.Label{Key: "version", Value: version.Version},
+		telemetry.Label{Key: "commit", Value: version.Commit}).Set(1)
 }
 
 // upGauge binds the per-backend reachability series for one endpoint.
@@ -418,11 +424,7 @@ func (r *Router) Shards() int {
 	return len(r.shards)
 }
 
-func (r *Router) logf(format string, args ...any) {
-	if r.cfg.Logf != nil {
-		r.cfg.Logf(format, args...)
-	}
-}
+func (r *Router) log() *tracelog.Logger { return r.cfg.Logger }
 
 // shardByID resolves a shard number under the read lock.
 func (r *Router) shardByID(id int) *shard {
@@ -527,15 +529,17 @@ func (r *Router) reconcile() {
 			res, err := standby.client.Promote(ctx)
 			cancel()
 			if err != nil {
-				r.logf("cluster: shard %d promotion of %s failed: %v", sh.id, standby.base, err)
+				r.log().Warn("shard promotion failed", tracelog.A("shard", sh.id),
+					tracelog.A("standby", standby.base), tracelog.A("error", err.Error()))
 				continue
 			}
 			sh.mu.Lock()
 			sh.activeStandby, sh.promoted = true, true
 			sh.mu.Unlock()
 			r.metrics.promotions.Inc()
-			r.logf("cluster: shard %d failed over to %s (epoch %d, %d jobs re-queued)",
-				sh.id, standby.base, res.Epoch, len(res.Requeued))
+			r.log().Info("shard failed over", tracelog.A("shard", sh.id),
+				tracelog.A("standby", standby.base), tracelog.A("epoch", res.Epoch),
+				tracelog.A("requeued", len(res.Requeued)))
 		default:
 			// Promoted: heal the old primary once it answers probes again.
 			oldPrimary, newPrimary := sh.primary, sh.standby
@@ -547,7 +551,8 @@ func (r *Router) reconcile() {
 			_, err := oldPrimary.client.Demote(ctx, newPrimary.base)
 			cancel()
 			if err != nil {
-				r.logf("cluster: shard %d demotion of stale primary %s failed: %v", sh.id, oldPrimary.base, err)
+				r.log().Warn("stale primary demotion failed", tracelog.A("shard", sh.id),
+					tracelog.A("primary", oldPrimary.base), tracelog.A("error", err.Error()))
 				continue
 			}
 			sh.mu.Lock()
@@ -555,7 +560,8 @@ func (r *Router) reconcile() {
 			sh.activeStandby = false
 			sh.mu.Unlock()
 			r.metrics.demotions.Inc()
-			r.logf("cluster: shard %d healed: %s demoted to standby of %s", sh.id, oldPrimary.base, newPrimary.base)
+			r.log().Info("shard healed", tracelog.A("shard", sh.id),
+				tracelog.A("demoted", oldPrimary.base), tracelog.A("primary", newPrimary.base))
 		}
 	}
 }
@@ -725,6 +731,43 @@ func (r *Router) Get(ctx context.Context, id service.JobID) (service.Job, error)
 	return job, nil
 }
 
+// Trace fetches one job's span timeline from the shard encoded in its ID,
+// with the same standby read-failover as Get: the timeline rides the
+// replication feed, so a standby serves it (plus its own replica_apply
+// spans) while the primary is dead.
+func (r *Router) Trace(ctx context.Context, id service.JobID) (service.JobTrace, error) {
+	sh, err := r.route(id)
+	if err != nil {
+		return service.JobTrace{}, err
+	}
+	traceFrom := func(ep *endpoint) (service.JobTrace, error) {
+		jt, err := ep.client.Trace(ctx, service.JobID{Seq: id.Seq})
+		if err != nil {
+			if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+				ep.setDegraded(err)
+			}
+			return service.JobTrace{}, err
+		}
+		ep.setHealthy()
+		return jt, nil
+	}
+	jt, err := traceFrom(sh.active())
+	if err != nil {
+		if _, spoke := service.ErrorStatus(err); !spoke && ctx.Err() == nil {
+			if alt := sh.alternate(); alt != nil {
+				if jt, altErr := traceFrom(alt); altErr == nil {
+					r.metrics.readFailovers.Inc()
+					jt.JobID.Shard = sh.id
+					return jt, nil
+				}
+			}
+		}
+		return service.JobTrace{}, err
+	}
+	jt.JobID.Shard = sh.id
+	return jt, nil
+}
+
 // Cancel stops a job on the shard encoded in its ID. Cancels do not fail
 // over: a standby is read-only, and a cancel applied to a replica view
 // would be lost at promotion anyway.
@@ -884,7 +927,7 @@ func (r *Router) AddShard(primary, standby string) (int, error) {
 		return 0, err
 	}
 	r.rebuildRingLocked()
-	r.logf("cluster: shard %d added (%s)", id, primary)
+	r.log().Info("shard added", tracelog.A("shard", id), tracelog.A("primary", primary))
 	return id, nil
 }
 
@@ -902,7 +945,7 @@ func (r *Router) DrainShard(id int, drain bool) error {
 	sh.draining = drain
 	sh.mu.Unlock()
 	r.rebuildRingLocked()
-	r.logf("cluster: shard %d draining=%v", id, drain)
+	r.log().Info("shard drain toggled", tracelog.A("shard", id), tracelog.A("draining", drain))
 	return nil
 }
 
@@ -933,7 +976,7 @@ func (r *Router) RemoveShard(id int) error {
 	}
 	sh.mu.Unlock()
 	r.rebuildRingLocked()
-	r.logf("cluster: shard %d removed", id)
+	r.log().Info("shard removed", tracelog.A("shard", id))
 	return nil
 }
 
@@ -993,7 +1036,8 @@ func (r *Router) ApplyMembership(specs []MemberSpec) (added, drained []int, err 
 	sort.Ints(added)
 	sort.Ints(drained)
 	if len(added) > 0 || len(drained) > 0 {
-		r.logf("cluster: membership reload: added %v, drained %v", added, drained)
+		r.log().Info("membership reloaded",
+			tracelog.A("added", fmt.Sprint(added)), tracelog.A("drained", fmt.Sprint(drained)))
 	}
 	return added, drained, err
 }
@@ -1048,6 +1092,8 @@ type Health struct {
 	StepsPerSec       float64         `json:"steps_per_sec,omitempty"`
 	MaxReplicationLag int64           `json:"max_replication_lag,omitempty"`
 	Backends          []BackendHealth `json:"backends"`
+	// Version is the router binary's build identity (internal/version).
+	Version string `json:"version,omitempty"`
 }
 
 // Health probes every endpoint live (bounded by ProbeTimeout each) and
@@ -1058,7 +1104,7 @@ func (r *Router) Health(ctx context.Context) Health {
 	reports, standbyReports := r.probe(ctx)
 	shards := r.shardList()
 
-	out := Health{Shards: len(shards), Jobs: make(map[service.State]int)}
+	out := Health{Shards: len(shards), Jobs: make(map[service.State]int), Version: version.String()}
 	for i, sh := range shards {
 		sh.mu.Lock()
 		promoted, draining := sh.promoted, sh.draining

@@ -9,7 +9,17 @@ import (
 	"time"
 
 	"hypersolve/internal/service"
+	"hypersolve/internal/tracelog"
 )
+
+// testLogWriter forwards the router's structured log lines into the test
+// log so failover decisions are visible in -v output.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
 
 // killSwitch fronts a node's handler with a partition toggle: while dead,
 // every connection is hijacked and dropped so clients see a transport
@@ -131,7 +141,7 @@ func TestFailoverEndToEnd(t *testing.T) {
 		FailAfter:     2,
 		PromoteAfter:  50 * time.Millisecond,
 		SubmitTimeout: 5 * time.Second,
-		Logf:          t.Logf,
+		Logger:        tracelog.New(testLogWriter{t}, tracelog.LevelInfo, tracelog.FormatText),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -148,6 +158,19 @@ func TestFailoverEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	slowJob := submitToShard(t, client, ctx, 1, true)
+	// Capture both jobs' trace IDs while the primary is alive; failover
+	// must keep serving these exact traces.
+	doneTrace, err := client.Trace(ctx, doneJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doneTrace.TraceID) != 32 {
+		t.Fatalf("trace ID through the router = %q, want 32 hex chars", doneTrace.TraceID)
+	}
+	slowTrace, err := client.Trace(ctx, slowJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Let the standby catch up fully before the kill: asynchronous
 	// replication only guarantees shipped records survive.
@@ -170,6 +193,18 @@ func TestFailoverEndToEnd(t *testing.T) {
 	if got.State != service.StateDone || got.Result == nil {
 		t.Fatalf("failed-over read = %+v, want done with result", got)
 	}
+	// The standby serves the same trace under the same trace ID, with its
+	// own replica_apply span stamped during WAL apply.
+	outageTrace, err := client.Trace(ctx, doneJob.ID)
+	if err != nil {
+		t.Fatalf("trace read during primary outage: %v", err)
+	}
+	if outageTrace.TraceID != doneTrace.TraceID {
+		t.Fatalf("failed-over trace ID = %s, want %s", outageTrace.TraceID, doneTrace.TraceID)
+	}
+	if !hasSpan(outageTrace, "replica_apply") {
+		t.Fatalf("standby-served trace lacks the replica_apply span: %+v", outageTrace.Spans)
+	}
 
 	// The router promotes the standby after the grace period.
 	eventually(t, 10*time.Second, "promotion", func() bool {
@@ -190,6 +225,18 @@ func TestFailoverEndToEnd(t *testing.T) {
 	}
 	if !final.State.Terminal() {
 		t.Fatalf("slow job after failover = %s, want terminal", final.State)
+	}
+	// The promoted node's re-run resumed the original trace and marked the
+	// hand-off with a requeued instant span.
+	rerunTrace, err := client.Trace(ctx, slowJob.ID)
+	if err != nil {
+		t.Fatalf("trace of re-run job after failover: %v", err)
+	}
+	if rerunTrace.TraceID != slowTrace.TraceID {
+		t.Fatalf("re-run trace ID = %s, want the original %s", rerunTrace.TraceID, slowTrace.TraceID)
+	}
+	if !hasSpan(rerunTrace, "requeued") {
+		t.Fatalf("re-run trace lacks the requeued span: %+v", rerunTrace.Spans)
 	}
 	// The finished job's record survived the failover byte for byte.
 	if got, err := client.Get(ctx, doneJob.ID); err != nil || got.State != service.StateDone {

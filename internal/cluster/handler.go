@@ -9,6 +9,8 @@ import (
 
 	"hypersolve/internal/service"
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // NewHandler wraps a router in the solve service's HTTP JSON surface, so a
@@ -18,6 +20,7 @@ import (
 //	POST   /v1/jobs             submit a JobSpec  → 202 Job with a sharded ID (s2-17)
 //	GET    /v1/jobs             union of all shards' jobs, merged sorted by ID
 //	GET    /v1/jobs/{id}        fetch one job, routed by the ID's shard prefix
+//	GET    /v1/jobs/{id}/trace  fetch the job's span timeline, routed likewise
 //	GET    /v1/jobs/{id}/events proxy the owning shard's SSE progress stream
 //	DELETE /v1/jobs/{id}        cancel a job, routed by the ID's shard prefix
 //	GET    /healthz             router liveness (the process itself)
@@ -38,7 +41,18 @@ func NewHandler(r *Router) http.Handler {
 		if !ok {
 			return
 		}
-		job, err := r.Submit(req.Context(), spec)
+		// The router is where a trace is born: adopt the caller's
+		// traceparent if one came in, mint one otherwise, and carry it in
+		// the context so the shard client forwards it on the wire. The
+		// shard's service then roots its timeline under the same trace ID.
+		tc := tracelog.FromRequest(req)
+		if !tc.Valid() {
+			tc = tracelog.NewTraceContext()
+			// Echo the minted context so the submitter learns its trace ID
+			// and the access-log middleware can tag this hop with it.
+			w.Header().Set("traceparent", tc.Traceparent())
+		}
+		job, err := r.Submit(tracelog.NewContext(req.Context(), tc), spec)
 		if err != nil {
 			writeRouteError(w, err)
 			return
@@ -72,6 +86,18 @@ func NewHandler(r *Router) http.Handler {
 			return
 		}
 		service.WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, req *http.Request) {
+		id, ok := routerPathID(w, req)
+		if !ok {
+			return
+		}
+		jt, err := r.Trace(req.Context(), id)
+		if err != nil {
+			writeRouteError(w, err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, jt)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
 		id, ok := routerPathID(w, req)
@@ -136,9 +162,10 @@ func NewHandler(r *Router) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		// The router's own liveness; fleet health lives at /v1/cluster.
 		service.WriteJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"role":   "router",
-			"shards": r.Shards(),
+			"status":  "ok",
+			"role":    "router",
+			"shards":  r.Shards(),
+			"version": version.String(),
 		})
 	})
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {

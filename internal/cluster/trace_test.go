@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hypersolve/internal/service"
+	"hypersolve/internal/tracelog"
+)
+
+// hasSpan reports whether a timeline contains a span with the given name.
+func hasSpan(jt service.JobTrace, name string) bool {
+	for _, sp := range jt.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTracePropagatesClientRouterShard: a caller-minted traceparent rides
+// the submit through the router to the owning shard, and the trace the
+// router serves back carries the caller's trace ID and the shard's full
+// span taxonomy — one trace across all three hops.
+func TestTracePropagatesClientRouterShard(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	caller := tracelog.NewTraceContext()
+	job, err := tc.client.Submit(tracelog.NewContext(ctx, caller), quickSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.Wait(ctx, job.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	jt, err := tc.client.Trace(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.TraceID != caller.TraceID {
+		t.Fatalf("trace ID through router = %s, want the caller's %s", jt.TraceID, caller.TraceID)
+	}
+	if jt.JobID != job.ID {
+		t.Fatalf("trace job ID = %s, want %s (router must stamp the shard prefix)", jt.JobID, job.ID)
+	}
+	for _, name := range []string{"compile", "admission", "queue", "run"} {
+		if !hasSpan(jt, name) {
+			t.Fatalf("trace lacks span %q: %+v", name, jt.Spans)
+		}
+	}
+
+	// Without a caller traceparent the router mints one, so the shard's
+	// trace is still rooted under a valid non-zero trace ID.
+	job2, err := tc.client.Submit(ctx, quickSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt2, err := tc.client.Trace(ctx, job2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jt2.TraceID) != 32 || jt2.TraceID == jt.TraceID {
+		t.Fatalf("router-minted trace ID = %q, want a fresh 32-hex ID", jt2.TraceID)
+	}
+	// The router forwarded its freshly minted context on the wire, so the
+	// shard recorded it as the timeline's parent span.
+	if jt2.Parent == "" {
+		t.Fatal("router-minted trace has no parent span: traceparent was not forwarded")
+	}
+}
+
+// TestRouterTraceUnknownShard: a trace request for a shard the router does
+// not front is a 404, mirroring Get.
+func TestRouterTraceUnknownShard(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := tc.client.Trace(ctx, service.JobID{Shard: 9, Seq: 1})
+	if status, ok := service.ErrorStatus(err); !ok || status != 404 {
+		t.Fatalf("trace of unknown shard = %v (status %d), want 404", err, status)
+	}
+}

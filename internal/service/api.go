@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // Health is the /healthz payload: a liveness verdict plus queue occupancy
@@ -28,6 +30,9 @@ type Health struct {
 	// ReplicationLag is how many records this standby trails its primary
 	// by; only set on a standby's health report.
 	ReplicationLag int64 `json:"replication_lag,omitempty"`
+	// Version is the build identity stamped into the binary
+	// (internal/version), "dev (unknown)" for unstamped builds.
+	Version string `json:"version,omitempty"`
 }
 
 // MaxSpecBytes bounds a submitted job spec (the CNF text dominates; 64 MiB
@@ -57,7 +62,17 @@ func NewHandler(s *Service) http.Handler {
 		if !ok {
 			return
 		}
-		job, err := s.Submit(spec)
+		// Adopt the caller's trace ID (the router forwards its own via
+		// traceparent) so one trace spans the whole submit path; without
+		// the header, mint the context here and echo it — exactly like the
+		// router — so the submitter learns its trace ID from the response
+		// and the access log tags this hop with it.
+		tc := tracelog.FromRequest(r)
+		if !tc.Valid() {
+			tc = tracelog.NewTraceContext()
+			w.Header().Set("traceparent", tc.Traceparent())
+		}
+		job, err := s.SubmitTraced(spec, tc)
 		if err != nil {
 			WriteError(w, submitStatus(err), err)
 			return
@@ -83,6 +98,18 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		WriteJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		jt, found := s.Trace(id)
+		if !found {
+			WriteError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		WriteJSON(w, http.StatusOK, jt)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
@@ -128,6 +155,7 @@ func NewHandler(s *Service) http.Handler {
 			Jobs:        s.Counts(),
 			Queued:      s.Load(),
 			StepsPerSec: s.StepsPerSec(),
+			Version:     version.String(),
 		})
 	})
 	mux.HandleFunc("GET /metrics", MetricsHandler(s.Telemetry()))
@@ -295,7 +323,16 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to salvage
 }
 
-// WriteError writes err as the API's {"error": "..."} payload.
+// WriteError writes err as the API's {"error": "..."} payload. Server
+// errors (5xx) additionally carry the request ID the middleware stamped
+// on the response, so a client's retry log lines correlate with the
+// server's access log.
 func WriteError(w http.ResponseWriter, status int, err error) {
-	WriteJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if status >= 500 {
+		if rid := w.Header().Get(tracelog.RequestIDHeader); rid != "" {
+			body["request_id"] = rid
+		}
+	}
+	WriteJSON(w, status, body)
 }

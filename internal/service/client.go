@@ -14,6 +14,8 @@ import (
 	"strings"
 	"time"
 
+	"hypersolve/internal/tracelog"
+
 	"hypersolve/internal/telemetry"
 )
 
@@ -138,6 +140,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tc, ok := tracelog.FromContext(ctx); ok {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -247,6 +252,15 @@ func (c *Client) Cancel(ctx context.Context, id JobID) (Job, error) {
 	return job, err
 }
 
+// Trace fetches one job's span timeline (GET /v1/jobs/{id}/trace).
+// Sharded IDs work against a cluster router; bare sequence IDs against
+// a single daemon or standby.
+func (c *Client) Trace(ctx context.Context, id JobID) (JobTrace, error) {
+	var jt JobTrace
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id.String()+"/trace", nil, &jt)
+	return jt, err
+}
+
 // Health fetches the server's liveness report.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
@@ -350,6 +364,9 @@ func (c *Client) OpenEvents(ctx context.Context, id JobID) (io.ReadCloser, error
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if tc, ok := tracelog.FromContext(ctx); ok {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err

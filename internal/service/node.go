@@ -13,6 +13,8 @@ import (
 
 	"hypersolve/internal/store"
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // A Node is one member of a replicated shard: a durable store plus a role.
@@ -80,9 +82,9 @@ type NodeConfig struct {
 	PullLimit int
 	// HTTP is the transport for feed pulls; nil means http.DefaultClient.
 	HTTP *http.Client
-	// Logf receives role transitions and the periodic lag report; nil
-	// discards them.
-	Logf func(format string, args ...any)
+	// Logger receives role transitions and the periodic lag report as
+	// structured records; nil discards them.
+	Logger *tracelog.Logger
 }
 
 // ReplicationStatus is the GET /v1/replication/status payload.
@@ -243,9 +245,11 @@ func (n *Node) pullLoop(ctx context.Context, follow string, reset bool) {
 			if lag := res.SourceLSN - lsn; lag != n.lastLag {
 				n.lastLag = lag
 				if lag > 0 {
-					n.logf("replication: %d records behind %s", lag, follow)
+					n.cfg.Logger.Info("replication lag",
+						tracelog.A("lag", lag), tracelog.A("source", follow))
 				} else if res.Snapshot {
-					n.logf("replication: reset from %s snapshot at lsn %d", follow, lsn)
+					n.cfg.Logger.Info("replication reset from snapshot",
+						tracelog.A("source", follow), tracelog.A("lsn", lsn))
 				}
 			}
 		}
@@ -270,12 +274,6 @@ func (n *Node) pullLoop(ctx context.Context, follow string, reset bool) {
 	}
 }
 
-func (n *Node) logf(format string, args ...any) {
-	if n.cfg.Logf != nil {
-		n.cfg.Logf(format, args...)
-	}
-}
-
 // Promote flips a standby to primary: the pull loop stops, the replica
 // store goes read-write (bumping the fencing epoch), and a full Service
 // starts over it — its recovery path re-admits every queued job, including
@@ -294,14 +292,15 @@ func (n *Node) Promote() (PromoteResult, error) {
 	n.stopPuller()
 	epoch, requeued, err := n.file.Promote()
 	if err != nil {
-		n.logf("replication: promotion journal write degraded: %v", err)
+		n.cfg.Logger.Warn("promotion journal write degraded", tracelog.A("error", err.Error()))
 	}
 	n.startPrimary()
 	res := PromoteResult{Role: "primary", Epoch: epoch}
 	for _, id := range requeued {
 		res.Requeued = append(res.Requeued, JobID{Seq: id})
 	}
-	n.logf("replication: promoted to primary at epoch %d (%d jobs re-queued)", epoch, len(res.Requeued))
+	n.cfg.Logger.Info("promoted to primary",
+		tracelog.A("epoch", epoch), tracelog.A("requeued", len(res.Requeued)))
 	return res, nil
 }
 
@@ -340,7 +339,7 @@ func (n *Node) Demote(follow string) (ReplicationStatus, error) {
 	n.sourceLSN, n.pullErr, n.lastLag = 0, "", 0
 	n.pullMu.Unlock()
 	n.startStandby(follow, true)
-	n.logf("replication: demoted to standby following %s (full re-sync)", follow)
+	n.cfg.Logger.Info("demoted to standby (full re-sync)", tracelog.A("source", follow))
 	return n.statusLocked(), nil
 }
 
@@ -513,6 +512,21 @@ func newStandbyHandler(n *Node) http.Handler {
 		}
 		WriteJSON(w, http.StatusOK, jobFromRecord(sj))
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		sj, found := n.file.Get(id)
+		if !found {
+			WriteError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		// The replicated timeline (including the standby's own
+		// replica_apply span, stamped at feed-apply time) is served
+		// as-is: a read failed over to a standby keeps its trace ID.
+		WriteJSON(w, http.StatusOK, jobTraceFromRecord(sj))
+	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := pathID(w, r)
 		if !ok {
@@ -555,6 +569,7 @@ func newStandbyHandler(n *Node) http.Handler {
 			Status:         "standby",
 			Jobs:           counts,
 			ReplicationLag: n.Status().Lag,
+			Version:        version.String(),
 		})
 	})
 	return mux

@@ -70,6 +70,13 @@ type ProgressBroker struct {
 	// service — set before the broker is shared, read-only after.
 	steps *telemetry.Counter
 
+	// annotate, when set, receives each published running snapshot's step
+	// count and queue depth — the service points it at the job's run span
+	// so the trace timeline carries step annotations on the publish
+	// cadence. Like steps, it is invoked only on the throttled publish
+	// path (never per step) and must be set before the broker is shared.
+	annotate func(step int64, queued int)
+
 	mu   sync.Mutex
 	subs map[int]chan Progress
 	next int
@@ -87,6 +94,16 @@ func NewProgressBroker() *ProgressBroker { return &ProgressBroker{} }
 // broker is shared. Returns the broker for chaining.
 func (b *ProgressBroker) CountSteps(c *telemetry.Counter) *ProgressBroker {
 	b.steps = c
+	return b
+}
+
+// AnnotateSteps attaches a callback invoked with each published running
+// snapshot's step count and queue depth (the service wires the job's
+// trace run span here; the bench harness uses it to measure the
+// tracing-enabled path). Call before the broker is shared. Returns the
+// broker for chaining.
+func (b *ProgressBroker) AnnotateSteps(fn func(step int64, queued int)) *ProgressBroker {
+	b.annotate = fn
 	return b
 }
 
@@ -230,6 +247,9 @@ func (o *progressObserver) AfterStep(step int64, queued int) {
 		StepsPerSec: float64(step-o.lastStep) / since.Seconds(),
 	})
 	o.b.steps.Add(step - o.lastStep)
+	if o.b.annotate != nil {
+		o.b.annotate(step, queued)
+	}
 	o.lastPub = now
 	o.lastStep = step
 }

@@ -16,6 +16,8 @@ import (
 	"hypersolve/internal/simulator"
 	"hypersolve/internal/store"
 	"hypersolve/internal/telemetry"
+	"hypersolve/internal/tracelog"
+	"hypersolve/internal/version"
 )
 
 // State is a job's lifecycle stage (defined by the persistence layer; the
@@ -167,7 +169,11 @@ type Service struct {
 	// out to event subscribers; the terminal transition publishes the final
 	// snapshot and drops the entry, so the map never outlives the queue.
 	brokers map[int64]*ProgressBroker
-	closed  bool
+	// traces holds each live job's in-flight span timeline; the terminal
+	// transition persists the timeline through the store and drops the
+	// entry, mirroring brokers.
+	traces map[int64]*liveTrace
+	closed bool
 
 	// root is the ancestor context of every job run; Close cancels it so
 	// in-flight solves stop within one cancellation slice.
@@ -205,6 +211,7 @@ func New(cfg Config) *Service {
 		raws:    make(map[int64]*core.Result),
 		cancels: make(map[int64]context.CancelFunc),
 		brokers: make(map[int64]*ProgressBroker),
+		traces:  make(map[int64]*liveTrace),
 		done:    make(chan struct{}),
 	}
 	s.registerMetrics()
@@ -263,6 +270,10 @@ func (s *Service) registerMetrics() {
 		"Configured solve worker count.", func() float64 { return float64(s.cfg.Workers) })
 	reg.GaugeFunc("hypersolve_sim_steps_per_sec",
 		"Aggregate stepping rate over currently running jobs.", s.StepsPerSec)
+	reg.Gauge("hypersolve_build_info",
+		"Build identity of the running binary; always 1, the labels carry the information.",
+		telemetry.Label{Key: "version", Value: version.Version},
+		telemetry.Label{Key: "commit", Value: version.Commit}).Set(1)
 }
 
 // newBroker returns a progress broker wired into the service's step
@@ -321,6 +332,16 @@ func (s *Service) recover() {
 		s.brokers[sj.ID] = s.newBroker()
 		s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 		s.pending = append(s.pending, sj.ID)
+		// Resume the persisted timeline under the original trace ID so the
+		// re-run links to the pre-crash spans; jobs admitted before tracing
+		// existed get a fresh trace. The instant requeued span marks the
+		// re-admission, then a new queue-wait span opens.
+		tr, err := tracelog.Resume(sj.Trace)
+		if err != nil {
+			tr = tracelog.NewTrace(tracelog.TraceContext{})
+		}
+		tr.AddInstant("requeued", nil)
+		s.traces[sj.ID] = &liveTrace{tr: tr, queue: tr.StartSpan("queue")}
 	}
 }
 
@@ -348,6 +369,19 @@ func (s *Service) Queue() (depth, workers int) { return s.cfg.QueueDepth, s.cfg.
 // with ErrQueueFull (the HTTP layer's 429), preserving bounded memory under
 // overload. Cancelling a queued job frees its slot immediately.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
+	return s.SubmitTraced(spec, tracelog.TraceContext{})
+}
+
+// SubmitTraced is Submit with an explicit trace context: a valid tc
+// (e.g. parsed from an inbound traceparent header) is adopted as the
+// job's trace ID, an invalid or zero one mints a fresh trace. The
+// timeline opens with sequential compile and admission spans (the
+// journal append nested inside admission) and an open queue-wait span;
+// the initial timeline is persisted immediately so it survives a crash
+// before the job runs.
+func (s *Service) SubmitTraced(spec JobSpec, tc tracelog.TraceContext) (Job, error) {
+	tr := tracelog.NewTrace(tc)
+	compile := tr.StartSpan("compile")
 	// Compile the spec up front so malformed jobs fail at admission, not
 	// in a worker; the compilation is cached on the service so the worker
 	// never re-parses the formula.
@@ -359,8 +393,10 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
+	tr.EndSpan(compile)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	admission := tr.StartSpan("admission")
 	if s.closed {
 		return Job{}, ErrClosed
 	}
@@ -368,7 +404,9 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		s.metrics.rejected.Inc()
 		return Job{}, ErrQueueFull
 	}
+	journal := tr.StartChild("journal", admission)
 	sj, err := s.store.Submit(raw, time.Now().UTC())
+	tr.EndSpan(journal)
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
@@ -377,6 +415,13 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	s.brokers[sj.ID] = s.newBroker()
 	s.brokers[sj.ID].Publish(Progress{State: StateQueued})
 	s.pending = append(s.pending, sj.ID)
+	tr.EndSpan(admission)
+	s.traces[sj.ID] = &liveTrace{tr: tr, queue: tr.StartSpan("queue")}
+	// Persist the opening timeline now (journaled like any transition) so
+	// a crash before the job finishes still leaves the trace ID and
+	// admission spans for recovery to resume. Failure costs observability
+	// only.
+	_ = s.store.SetTrace(sj.ID, tr.JSON())
 	s.wake.Signal()
 	return s.jobFromStore(sj), nil
 }
@@ -526,6 +571,14 @@ func (s *Service) finishLocked(id int64, state State, errMsg string, result *Job
 	// authoritative for this process.
 	evicted, _ := s.store.Finish(id, state, time.Now().UTC(), errMsg, raw)
 	s.metrics.finished[state].Inc()
+	if lt := s.traces[id]; lt != nil {
+		// Close whatever is still open (the queue span for a
+		// cancelled-while-queued job, the run span otherwise) and persist
+		// the full timeline next to the finish record.
+		lt.tr.EndOpen()
+		_ = s.store.SetTrace(id, lt.tr.JSON())
+		delete(s.traces, id)
+	}
 	if b := s.brokers[id]; b != nil {
 		b.Finish(state, errMsg, result)
 		delete(s.brokers, id)
@@ -591,8 +644,22 @@ func (s *Service) runJob(id int64) {
 	// The queued check above ran under this same lock, so Start can only
 	// fail on a journal write, which degrades durability, not correctness.
 	_ = s.store.Start(id, time.Now().UTC())
+	var runSpan int64
+	lt := s.traces[id]
+	if lt != nil {
+		lt.tr.EndSpan(lt.queue)
+		runSpan = lt.tr.StartSpan("run")
+	}
 	var obs simulator.Observer
 	if b := s.brokers[id]; b != nil {
+		if lt != nil {
+			// Step annotations ride the broker's throttled publish cadence
+			// (at most one per ProgressInterval), never the per-step path.
+			tr, span := lt.tr, runSpan
+			b.annotate = func(step int64, queued int) {
+				tr.Annotate(span, fmt.Sprintf("step %d, %d queued", step, queued))
+			}
+		}
 		b.Publish(Progress{State: StateRunning})
 		obs = b.Observer()
 	}
@@ -617,6 +684,12 @@ func (s *Service) runJob(id int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.cancels, id)
+	if lt != nil {
+		if res != nil {
+			lt.tr.SetAttr(runSpan, "steps", res.Stats.Steps)
+		}
+		lt.tr.EndSpan(runSpan)
+	}
 	switch {
 	case runErr == nil:
 		s.raws[id] = raw

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"encoding/json"
+
+	"hypersolve/internal/store"
+	"hypersolve/internal/tracelog"
+)
+
+// JobTrace is the wire shape of GET /v1/jobs/{id}/trace: the job's
+// identity and state plus its span timeline. For a live (queued or
+// running) job the timeline is snapshotted from the in-flight trace;
+// for a terminal job it is decoded from the record the store persisted,
+// which is also what a standby or a restarted daemon serves — traces
+// survive crashes and failovers exactly as far as the journal does.
+type JobTrace struct {
+	JobID JobID `json:"job_id"`
+	State State `json:"state"`
+	tracelog.Timeline
+}
+
+// jobTraceFromRecord decodes a persisted record's timeline into the API
+// shape. A record without a timeline (pre-tracing history) yields an
+// empty span list, not an error — the job exists, it just predates
+// tracing.
+func jobTraceFromRecord(sj store.Job) JobTrace {
+	jt := JobTrace{JobID: JobID{Seq: sj.ID}, State: sj.State}
+	if len(sj.Trace) > 0 {
+		_ = json.Unmarshal(sj.Trace, &jt.Timeline)
+	}
+	return jt
+}
+
+// liveTrace pairs a job's in-flight trace with the ID of its open
+// queue-wait span (started at admission, ended when a worker dequeues).
+type liveTrace struct {
+	tr    *tracelog.Trace
+	queue int64
+}
+
+// Trace returns the span timeline of one job: the live trace while the
+// job is queued or running, the persisted one once it is terminal.
+func (s *Service) Trace(id int64) (JobTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sj, ok := s.store.Get(id)
+	if !ok {
+		return JobTrace{}, false
+	}
+	if lt := s.traces[id]; lt != nil {
+		return JobTrace{JobID: JobID{Seq: id}, State: sj.State, Timeline: lt.tr.Timeline()}, true
+	}
+	return jobTraceFromRecord(sj), true
+}

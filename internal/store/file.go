@@ -123,7 +123,7 @@ var testHookCompacting func()
 // one during replay. The "epoch" op records a promotion (see
 // replication.go); it carries no job transition.
 type rec struct {
-	Op     string          `json:"op"` // "submit" | "start" | "finish" | "epoch"
+	Op     string          `json:"op"` // "submit" | "start" | "finish" | "trace" | "epoch"
 	LSN    int64           `json:"lsn,omitempty"`
 	ID     int64           `json:"id,omitempty"`
 	At     time.Time       `json:"at,omitzero"`
@@ -131,6 +131,7 @@ type rec struct {
 	State  State           `json:"state,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Trace  json.RawMessage `json:"trace,omitempty"`
 	Epoch  int64           `json:"epoch,omitempty"`
 }
 
@@ -311,6 +312,8 @@ func (f *File) applyRec(r rec) {
 		f.mem.restoreStart(r.ID, r.At)
 	case "finish":
 		f.mem.restoreFinish(r.ID, r.State, r.At, r.Error, r.Result)
+	case "trace":
+		f.mem.restoreTrace(r.ID, r.Trace)
 	case "epoch":
 		if r.Epoch > f.epoch {
 			f.epoch = r.Epoch
@@ -595,6 +598,24 @@ func (f *File) Finish(id int64, state State, at time.Time, errMsg string, result
 		return nil, err
 	}
 	return evicted, f.append(rec{Op: "finish", ID: id, At: at, State: state, Error: errMsg, Result: result})
+}
+
+// SetTrace implements Store: the trace timeline is attached in the view
+// and journaled as its own record, so it replicates to standbys and is
+// folded into snapshots like any transition.
+func (f *File) SetTrace(id int64, trace json.RawMessage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.replica {
+		return ErrReplica
+	}
+	if err := f.mem.SetTrace(id, trace); err != nil {
+		return err
+	}
+	return f.append(rec{Op: "trace", ID: id, Trace: trace})
 }
 
 // Get implements Store, reading the in-memory view (never blocked by an

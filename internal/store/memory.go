@@ -87,6 +87,20 @@ func (m *Memory) finishLocked(id int64, state State, at time.Time, errMsg string
 	return evicted, nil
 }
 
+// SetTrace implements Store: it attaches the opaque trace timeline to a
+// job. Unlike the lifecycle transitions it is valid in any state — the
+// final timeline lands just after Finish.
+func (m *Memory) SetTrace(id int64, trace json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	j.Trace = trace
+	return nil
+}
+
 // Get implements Store: it returns a snapshot of one job.
 func (m *Memory) Get(id int64) (Job, bool) {
 	m.mu.Lock()
@@ -153,6 +167,16 @@ func (m *Memory) restoreStart(id int64, at time.Time) {
 	if j, ok := m.jobs[id]; ok && j.State == StateQueued {
 		j.State = StateRunning
 		j.StartedAt = at
+	}
+}
+
+// restoreTrace replays a trace record; last writer wins, matching
+// SetTrace semantics.
+func (m *Memory) restoreTrace(id int64, trace json.RawMessage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.Trace = trace
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"hypersolve/internal/tracelog"
 )
 
 // Replication turns the File store's write-ahead journal into a shipping
@@ -138,12 +140,22 @@ func (f *File) ApplyFeed(data []byte) (FeedResult, error) {
 		res.Applied, res.Snapshot = 1, true
 		return res, f.compactInline()
 	}
+	applyStart := time.Now().UTC()
 	for _, r := range page.Records {
 		if r.LSN <= f.lsn {
 			continue // already applied (page overlap or replayed at Open)
 		}
 		if r.LSN != f.lsn+1 {
 			return res, fmt.Errorf("store: feed gap: record lsn %d after local lsn %d (re-sync from 0)", r.LSN, f.lsn)
+		}
+		if r.Op == "trace" && len(r.Trace) > 0 {
+			// Stamp the standby's own apply span into the timeline before it
+			// lands, so a promoted standby serves traces that show when the
+			// replication stream delivered them. The record content diverges
+			// from the primary's by exactly this span; LSNs are untouched.
+			if annotated, err := tracelog.AppendSpan(r.Trace, "replica_apply", applyStart, time.Now().UTC()); err == nil {
+				r.Trace = annotated
+			}
 		}
 		f.applyRec(r)
 		if err := f.appendLocked(r); err != nil {

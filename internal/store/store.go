@@ -58,6 +58,11 @@ type Job struct {
 	FinishedAt  time.Time       `json:"finished_at,omitzero"`
 	Error       string          `json:"error,omitempty"`
 	Result      json.RawMessage `json:"result,omitempty"`
+	// Trace is the job's span timeline as opaque JSON (internal/tracelog
+	// owns the format). The service writes an initial timeline at submit
+	// and the full one at finish, so traces survive crash recovery and
+	// ride the replication feed to standbys.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Sentinel errors of the lifecycle transitions.
@@ -81,6 +86,10 @@ type Store interface {
 	// of any terminal jobs evicted to respect the retention bound, so
 	// callers can drop their own per-job caches.
 	Finish(id int64, state State, at time.Time, errMsg string, result json.RawMessage) (evicted []int64, err error)
+	// SetTrace attaches (or replaces) a job's trace timeline. The blob is
+	// opaque to the store; durable backends journal it like any other
+	// transition so it replicates and survives restarts.
+	SetTrace(id int64, trace json.RawMessage) error
 	// Get returns a snapshot of one job.
 	Get(id int64) (Job, bool)
 	// List returns snapshots ordered by ID, optionally filtered to the

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hypersolve/internal/tracelog"
+)
+
+// TestTracePersistsAndReplays: a journaled trace record survives reopen
+// and the last write wins.
+func TestTracePersistsAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	f := reopen(t, nil, dir, FileConfig{})
+	j, err := f.Submit(spec(1), at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrace(j.ID, json.RawMessage(`{"trace_id":"aa","spans":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrace(j.ID, json.RawMessage(`{"trace_id":"bb","spans":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	f = reopen(t, f, dir, FileConfig{})
+	defer f.Close()
+	sj, ok := f.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost across reopen")
+	}
+	var tl tracelog.Timeline
+	if err := json.Unmarshal(sj.Trace, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.TraceID != "bb" {
+		t.Fatalf("recovered trace ID = %q, want the last write bb", tl.TraceID)
+	}
+	if err := f.SetTrace(999, nil); err != ErrNotFound {
+		t.Fatalf("SetTrace on unknown job = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTraceReplicatesWithApplySpan: a trace record ships over the WAL
+// feed like any other, and the standby stamps a replica_apply span onto
+// the timeline it stores — the one deliberate divergence from the
+// primary's copy.
+func TestTraceReplicatesWithApplySpan(t *testing.T) {
+	p := reopen(t, nil, t.TempDir(), FileConfig{})
+	r := reopen(t, nil, t.TempDir(), FileConfig{Replica: true})
+	defer p.Close()
+	defer r.Close()
+
+	j, err := p.Submit(spec(1), at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracelog.NewTrace(tracelog.TraceContext{})
+	tr.EndSpan(tr.StartSpan("admission"))
+	if err := p.SetTrace(j.ID, tr.JSON()); err != nil {
+		t.Fatal(err)
+	}
+
+	syncReplica(t, p, r)
+	sj, ok := r.Get(j.ID)
+	if !ok {
+		t.Fatal("job did not replicate")
+	}
+	var tl tracelog.Timeline
+	if err := json.Unmarshal(sj.Trace, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.TraceID != tr.ID() {
+		t.Fatalf("replicated trace ID = %q, want %q", tl.TraceID, tr.ID())
+	}
+	var names []string
+	for _, sp := range tl.Spans {
+		names = append(names, sp.Name)
+	}
+	if len(tl.Spans) != 2 || tl.Spans[1].Name != "replica_apply" {
+		t.Fatalf("standby timeline spans = %v, want [admission replica_apply]", names)
+	}
+	if sp := tl.Spans[1]; sp.End.Before(sp.Start) || sp.ID <= tl.Spans[0].ID {
+		t.Fatalf("replica_apply span malformed: %+v", sp)
+	}
+}

@@ -1,0 +1,19 @@
+// Package version holds the build identity stamped into release
+// binaries via -ldflags:
+//
+//	go build -ldflags "-X hypersolve/internal/version.Version=v1.2.3 \
+//	                   -X hypersolve/internal/version.Commit=abc1234" ./cmd/...
+//
+// Unstamped builds report "dev"/"unknown". The daemon and router
+// surface it in /healthz, /v1/cluster and the hypersolve_build_info
+// telemetry gauge; both binaries print it for -version.
+package version
+
+// Version is the semantic or CI-assigned build version.
+var Version = "dev"
+
+// Commit is the VCS revision the binary was built from.
+var Commit = "unknown"
+
+// String renders "version (commit)" for banners and -version output.
+func String() string { return Version + " (" + Commit + ")" }
