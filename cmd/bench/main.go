@@ -32,19 +32,30 @@
 // report from a 1-core CI container is never compared 1:1 against an
 // 8-core workstation without noticing.
 //
+// It also measures the engine split introduced with the discrete-event
+// simulator core: a sparse-workload comparison (unbalanced-tree and
+// recursion kinds on latency-heavy meshes) runs each configuration under
+// both the sweep and event engines, verifies the results are bit-identical,
+// and records the event/sweep speedup.
+//
 // Usage:
 //
-//	go run ./cmd/bench                     # writes BENCH_PR8.json
-//	go run ./cmd/bench -o BENCH_PR9.json   # next PR's trajectory point
+//	go run ./cmd/bench                     # writes BENCH_PR9.json
+//	go run ./cmd/bench -o BENCH_PR10.json  # next PR's trajectory point
 //	go run ./cmd/bench -parallel 4         # explicit sweep parallelism
 //	go run ./cmd/bench -matrix-smoke       # CI gate: tiny 1-vs-2-proc matrix only
+//	go run ./cmd/bench -sparse-smoke       # CI gate: event-engine speedup + alloc guards
 //
 // -matrix-smoke runs a reduced matrix (procs 1 and 2, small workload),
 // prints it, and exits non-zero if the 2-proc sweep speedup falls below
 // 1.0x on a machine with at least two CPUs — a sanity floor, not a
-// scaling target. Compare full reports by diffing their "benchmarks"
-// entries (ns_per_op, allocs_per_op), the sweep block's "speedup" and the
-// matrix's "sweep_efficiency" column.
+// scaling target. -sparse-smoke runs a reduced sparse-workload comparison
+// plus the flood alloc guards, and exits non-zero if any sparse point's
+// event/sweep speedup falls below 2x, if the engines' results diverge, or
+// if an observer configuration adds allocations to the hot path. Compare
+// full reports by diffing their "benchmarks" entries (ns_per_op,
+// allocs_per_op), the sweep block's "speedup", the sparse block's
+// "speedup" column and the matrix's "sweep_efficiency" column.
 package main
 
 import (
@@ -138,6 +149,21 @@ type matrixPoint struct {
 	ServiceEfficiency float64 `json:"service_efficiency"`
 }
 
+// sparsePoint is one sparse-workload configuration run under both engines.
+// NsPerOp values are best-of-N wall-clock nanoseconds for one full solve;
+// Speedup is sweep/event (>1 means the event engine is faster).
+type sparsePoint struct {
+	Workload     string  `json:"workload"`
+	N            int     `json:"n"`
+	Topology     string  `json:"topology"`
+	LinkLatency  int64   `json:"link_latency"`
+	Steps        int64   `json:"steps"`
+	SweepNsPerOp float64 `json:"sweep_ns_per_op"`
+	EventNsPerOp float64 `json:"event_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
 type report struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
@@ -146,6 +172,7 @@ type report struct {
 	// means unthrottled); empty when no cgroup quota file is readable.
 	CPUQuota    string           `json:"cpu_quota,omitempty"`
 	Benchmarks  []benchEntry     `json:"benchmarks"`
+	Sparse      []sparsePoint    `json:"sparse"`
 	Sweep       sweepEntry       `json:"sweep"`
 	Service     serviceEntry     `json:"service"`
 	Store       []storeEntry     `json:"store"`
@@ -165,14 +192,23 @@ func cpuQuota() string {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR8.json", "output file")
+		out   = flag.String("o", "BENCH_PR9.json", "output file")
 		par   = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
 		smoke = flag.Bool("matrix-smoke", false,
 			"run only a reduced 1-vs-2-proc scaling matrix and fail if 2-proc sweep speedup < 1.0x (skipped on 1-CPU hosts)")
+		sparseSmoke = flag.Bool("sparse-smoke", false,
+			"run only a reduced sparse-workload engine comparison plus the flood alloc guards; fail below 2x event/sweep speedup")
 	)
 	flag.Parse()
 	if *smoke {
 		if err := runMatrixSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sparseSmoke {
+		if err := runSparseSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -209,36 +245,17 @@ func main() {
 	// floodAllocsPerRun) rather than the noisy testing.Benchmark numbers
 	// above, which stay in the report for their timings.
 	fmt.Fprintln(os.Stderr, "bench: flood alloc guards (AllocsPerRun, 4 configurations)...")
-	baseAllocs := floodAllocsPerRun(nil)
-	observedAllocs := floodAllocsPerRun(service.NewProgressBroker().Observer())
-	countedAllocs := floodAllocsPerRun(service.NewProgressBroker().
-		CountSteps(telemetry.NewRegistry().Counter("bench_sim_steps_total", "bench-only step counter")).
-		Observer())
-	guardTrace := tracelog.NewTrace(tracelog.TraceContext{})
-	guardSpan := guardTrace.StartSpan("run")
-	tracedAllocs := floodAllocsPerRun(service.NewProgressBroker().
-		CountSteps(telemetry.NewRegistry().Counter("bench_sim_steps_total", "bench-only step counter")).
-		AnnotateSteps(func(step int64, queued int) {
-			guardTrace.Annotate(guardSpan, fmt.Sprintf("step %d, %d queued", step, queued))
-		}).Observer())
-	guardTrace.EndSpan(guardSpan)
-	if observedAllocs > baseAllocs {
-		fmt.Fprintf(os.Stderr, "bench: FAIL: progress observer added allocations to the hot path (%d -> %d allocs/run)\n",
-			baseAllocs, observedAllocs)
+	if err := floodAllocGuards(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: FAIL:", err)
 		os.Exit(1)
 	}
-	if countedAllocs > baseAllocs {
-		fmt.Fprintf(os.Stderr, "bench: FAIL: telemetry step counter added allocations to the hot path (%d -> %d allocs/run)\n",
-			baseAllocs, countedAllocs)
+	fmt.Fprintln(os.Stderr, "bench: sparse workloads (unbalanced + recursion, sweep vs event engine)...")
+	sparse, err := benchSparse(fullSparseSpecs, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	if tracedAllocs > baseAllocs {
-		fmt.Fprintf(os.Stderr, "bench: FAIL: trace annotation hook added allocations to the hot path (%d -> %d allocs/run)\n",
-			baseAllocs, tracedAllocs)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "bench: flood alloc guards held (base=%d observed=%d telemetry=%d traced=%d allocs/run)\n",
-		baseAllocs, observedAllocs, countedAllocs, tracedAllocs)
+	rep.Sparse = sparse
 	fmt.Fprintln(os.Stderr, "bench: figure-4 point (uf50-218, 196-core 2D torus, RR)...")
 	rep.Benchmarks = append(rep.Benchmarks, runBench("figure4_point_2dtorus_rr_196", benchFigure4Point))
 	fmt.Fprintln(os.Stderr, "bench: sweep speedup (quick figure-4, serial vs parallel)...")
@@ -284,8 +301,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms, sweep efficiency@2 %.2f)\n",
-		*out, sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sparse event speedup >= %.1fx, sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms, sweep efficiency@2 %.2f)\n",
+		*out, minSpeedup(rep.Sparse), sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
 		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec,
 		rep.Replication.TailRecordsPerSec, rep.Replication.FailoverFirstReadMs,
 		rep.Matrix[1].SweepEfficiency)
@@ -321,6 +338,175 @@ func floodAllocsPerRun(obs simulator.Observer) int64 {
 			panic("bench: flood did not quiesce")
 		}
 	}))
+}
+
+// floodAllocGuards runs the four AllocsPerRun readings and enforces the
+// zero-added-allocations contract of the observer configurations. It runs
+// on the default (event) engine, the path every serviced job now takes.
+func floodAllocGuards() error {
+	baseAllocs := floodAllocsPerRun(nil)
+	observedAllocs := floodAllocsPerRun(service.NewProgressBroker().Observer())
+	countedAllocs := floodAllocsPerRun(service.NewProgressBroker().
+		CountSteps(telemetry.NewRegistry().Counter("bench_sim_steps_total", "bench-only step counter")).
+		Observer())
+	guardTrace := tracelog.NewTrace(tracelog.TraceContext{})
+	guardSpan := guardTrace.StartSpan("run")
+	tracedAllocs := floodAllocsPerRun(service.NewProgressBroker().
+		CountSteps(telemetry.NewRegistry().Counter("bench_sim_steps_total", "bench-only step counter")).
+		AnnotateSteps(func(step int64, queued int) {
+			guardTrace.Annotate(guardSpan, fmt.Sprintf("step %d, %d queued", step, queued))
+		}).Observer())
+	guardTrace.EndSpan(guardSpan)
+	if observedAllocs > baseAllocs {
+		return fmt.Errorf("progress observer added allocations to the hot path (%d -> %d allocs/run)",
+			baseAllocs, observedAllocs)
+	}
+	if countedAllocs > baseAllocs {
+		return fmt.Errorf("telemetry step counter added allocations to the hot path (%d -> %d allocs/run)",
+			baseAllocs, countedAllocs)
+	}
+	if tracedAllocs > baseAllocs {
+		return fmt.Errorf("trace annotation hook added allocations to the hot path (%d -> %d allocs/run)",
+			baseAllocs, tracedAllocs)
+	}
+	fmt.Fprintf(os.Stderr, "bench: flood alloc guards held (base=%d observed=%d telemetry=%d traced=%d allocs/run)\n",
+		baseAllocs, observedAllocs, countedAllocs, tracedAllocs)
+	return nil
+}
+
+// sparseSpec is one sparse-workload configuration for the engine
+// comparison: a solve whose simulation is dominated by idle steps and idle
+// slots, where the event engine's skip logic should pay off. The unbalanced
+// kind is a linear dependency chain (maximally sparse); fib is a recursion
+// fan-out whose frames spread thinly across a large latency-heavy mesh.
+type sparseSpec struct {
+	kind     string
+	n        int
+	topology string
+	latency  int64
+}
+
+var fullSparseSpecs = []sparseSpec{
+	{kind: "unbalanced", n: 40, topology: "torus:16x16", latency: 200},
+	{kind: "unbalanced", n: 60, topology: "torus:16x16", latency: 50},
+	{kind: "fib", n: 14, topology: "torus:24x24", latency: 400},
+	{kind: "fib", n: 16, topology: "torus:20x20", latency: 300},
+}
+
+// smokeSparseSpecs is the reduced CI-gate set: one point per workload kind,
+// both comfortably above the 2x floor on any host.
+var smokeSparseSpecs = []sparseSpec{
+	{kind: "unbalanced", n: 40, topology: "torus:16x16", latency: 200},
+	{kind: "fib", n: 14, topology: "torus:24x24", latency: 400},
+}
+
+// benchSparse times each spec under both engines (best of iters runs each)
+// and cross-checks that the two produce bit-identical results.
+func benchSparse(specs []sparseSpec, iters int) ([]sparsePoint, error) {
+	timeRun := func(s sparseSpec, engine string) (float64, hypersolve.Result, error) {
+		spec := service.JobSpec{
+			Kind:     s.kind,
+			N:        s.n,
+			Topology: s.topology,
+			Seed:     7,
+			Engine:   engine,
+			Link:     service.LinkSpec{LinkLatency: s.latency},
+		}
+		cfg, arg, err := spec.Build()
+		if err != nil {
+			return 0, hypersolve.Result{}, err
+		}
+		best := 0.0
+		var res hypersolve.Result
+		for i := 0; i < iters; i++ {
+			m, err := hypersolve.NewMachine(cfg)
+			if err != nil {
+				return 0, hypersolve.Result{}, err
+			}
+			start := time.Now()
+			res, err = m.Run(arg)
+			if err != nil {
+				return 0, hypersolve.Result{}, err
+			}
+			if !res.OK {
+				return 0, hypersolve.Result{}, fmt.Errorf("sparse %s/%d did not complete", s.kind, s.n)
+			}
+			if ns := float64(time.Since(start).Nanoseconds()); best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, res, nil
+	}
+	out := make([]sparsePoint, 0, len(specs))
+	for _, s := range specs {
+		sweepNs, sweepRes, err := timeRun(s, "sweep")
+		if err != nil {
+			return nil, err
+		}
+		eventNs, eventRes, err := timeRun(s, "event")
+		if err != nil {
+			return nil, err
+		}
+		pt := sparsePoint{
+			Workload:     s.kind,
+			N:            s.n,
+			Topology:     s.topology,
+			LinkLatency:  s.latency,
+			Steps:        eventRes.Stats.Steps,
+			SweepNsPerOp: sweepNs,
+			EventNsPerOp: eventNs,
+			Speedup:      sweepNs / eventNs,
+			BitIdentical: reflect.DeepEqual(sweepRes, eventRes),
+		}
+		if !pt.BitIdentical {
+			return nil, fmt.Errorf("sparse %s/%d on %s: engines diverge (sweep %+v, event %+v)",
+				s.kind, s.n, s.topology, sweepRes.Stats, eventRes.Stats)
+		}
+		fmt.Fprintf(os.Stderr, "bench:   %s n=%d %s lat=%d: sweep %.1fms event %.1fms speedup %.1fx\n",
+			pt.Workload, pt.N, pt.Topology, pt.LinkLatency,
+			pt.SweepNsPerOp/1e6, pt.EventNsPerOp/1e6, pt.Speedup)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// runSparseSmoke is the CI gate for the event engine: the reduced sparse
+// set must show at least a 2x event/sweep speedup per point (the engine's
+// reason to exist on sparse shapes), results must be bit-identical, and the
+// flood alloc guards must still hold on the event path.
+func runSparseSmoke() error {
+	fmt.Fprintln(os.Stderr, "bench: sparse smoke (unbalanced + recursion, sweep vs event)...")
+	pts, err := benchSparse(smokeSparseSpecs, 2)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	for _, pt := range pts {
+		if pt.Speedup < 2.0 {
+			return fmt.Errorf("sparse smoke: %s n=%d speedup %.2fx is below the 2x floor",
+				pt.Workload, pt.N, pt.Speedup)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "bench: sparse smoke: flood alloc guards (AllocsPerRun, 4 configurations)...")
+	if err := floodAllocGuards(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: sparse smoke ok (min speedup %.1fx)\n", minSpeedup(pts))
+	return nil
+}
+
+func minSpeedup(pts []sparsePoint) float64 {
+	min := pts[0].Speedup
+	for _, pt := range pts[1:] {
+		if pt.Speedup < min {
+			min = pt.Speedup
+		}
+	}
+	return min
 }
 
 func runBench(name string, fn func(b *testing.B)) benchEntry {

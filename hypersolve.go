@@ -283,6 +283,18 @@ const (
 	LinkQueues = simulator.LinkQueues
 )
 
+// Engine selects the layer-1 inner loop; set it as Config.Engine.
+type Engine = simulator.Engine
+
+// Engines for Config.Engine: the discrete-event engine (the default, skips
+// idle slots and steps) and the paper's step-synchronous sweep. The two are
+// bit-identical on every workload (proven by internal/simulator/difftest);
+// sweep remains as the reference implementation.
+const (
+	EngineEvent = simulator.EngineEvent
+	EngineSweep = simulator.EngineSweep
+)
+
 // ParseTopologyMust is ParseTopology that panics on error, for tests and
 // examples.
 func ParseTopologyMust(spec string) Topology { return mesh.MustParse(spec) }

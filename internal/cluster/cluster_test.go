@@ -421,7 +421,9 @@ func TestRouterNegativeShardIsNotFound(t *testing.T) {
 }
 
 // slowSpec is a job that runs until cancelled (within its huge step
-// budget), used to watch live progress through the router.
+// budget), used to watch live progress through the router. The sweep engine
+// is pinned because the event engine skips the idle latency gaps and
+// finishes the same job in milliseconds.
 func slowSpec() service.JobSpec {
 	return service.JobSpec{
 		Kind:     "sum",
@@ -429,6 +431,7 @@ func slowSpec() service.JobSpec {
 		Topology: "ring:4",
 		Link:     service.LinkSpec{LinkLatency: 50000},
 		MaxSteps: 1 << 40,
+		Engine:   "sweep",
 	}
 }
 

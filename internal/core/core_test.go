@@ -263,7 +263,9 @@ func TestCancelSpeculativePreservesSATVerdicts(t *testing.T) {
 }
 
 // slowConfig builds a machine whose run spans tens of millions of cheap
-// steps: a linear sum chain over high-latency links on a tiny ring.
+// steps: a linear sum chain over high-latency links on a tiny ring. It pins
+// the sweep engine because the point is a run slow enough to cancel — the
+// event engine skips the idle latency gaps and finishes in milliseconds.
 func slowConfig() Config {
 	return Config{
 		Topology: mesh.MustRing(4),
@@ -271,6 +273,7 @@ func slowConfig() Config {
 		Task:     apps.SumTask(),
 		Link:     simulator.Config{LinkLatency: 50000},
 		MaxSteps: 1 << 40,
+		Engine:   simulator.EngineSweep,
 	}
 }
 

@@ -14,7 +14,9 @@ import (
 
 // slowSpec is a job that runs for several seconds if never cancelled: a
 // linear sum chain whose ~1000 link hops each spend 50k steps in flight, on
-// a tiny ring where steps are cheap. It completes only at ~50M steps.
+// a tiny ring where steps are cheap. It completes only at ~50M steps. The
+// sweep engine is pinned because the event engine skips the idle latency
+// gaps and finishes the same job in milliseconds.
 func slowSpec() JobSpec {
 	return JobSpec{
 		Kind:     "sum",
@@ -22,6 +24,7 @@ func slowSpec() JobSpec {
 		Topology: "ring:4",
 		Link:     LinkSpec{LinkLatency: 50000},
 		MaxSteps: 1 << 40,
+		Engine:   "sweep",
 	}
 }
 

@@ -19,6 +19,17 @@ func (q *fifo) len() int { return q.r.Len() }
 // pop removes the head regardless of arrival time.
 func (q *fifo) pop() (Message, bool) { return q.r.Pop() }
 
+// headArrival returns the arrival step of the head message. Arrival times
+// within one queue are monotonic (constant link latency, FIFO pushes), so
+// the head's is the queue's minimum — the event engine's next-visit key.
+func (q *fifo) headArrival() (int64, bool) {
+	head, ok := q.r.Peek()
+	if !ok {
+		return 0, false
+	}
+	return head.arriveAt, true
+}
+
 // popDue removes the head only if it has arrived by the given step.
 func (q *fifo) popDue(step int64) (Message, bool) {
 	head, ok := q.r.Peek()

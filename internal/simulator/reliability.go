@@ -140,6 +140,24 @@ func (l *linkLayer) retransmit(s *Simulator) {
 	}
 }
 
+// nextDeadline returns the earliest step at which any pending message
+// becomes overdue (sentAt + timeout), so the event engine can schedule the
+// next retransmit scan instead of scanning every step. Acknowledgements may
+// remove entries after scheduling; an early scan is then a no-op, exactly
+// like the sweep's per-step scan on a step with nothing overdue.
+func (l *linkLayer) nextDeadline() (int64, bool) {
+	var best int64
+	found := false
+	for _, k := range l.order {
+		for i := range l.pending[k] {
+			if d := l.pending[k][i].sentAt + l.timeout; !found || d < best {
+				best, found = d, true
+			}
+		}
+	}
+	return best, found
+}
+
 // idle reports whether the protocol holds no unacknowledged messages.
 func (l *linkLayer) idle() bool {
 	for _, pend := range l.pending {

@@ -74,13 +74,19 @@ type Handler interface {
 // Ticker is an optional extension: handlers implementing it are invoked once
 // per simulation step even when no message arrives. Layers that keep
 // internal buffers (e.g. node-level schedulers) use it to drain them.
+//
+// Handlers that also implement Pending additionally promise that Tick is a
+// no-op whenever PendingWork reports false; the event engine relies on that
+// contract to skip their idle steps. Ticker-only handlers are ticked on
+// every step by both engines.
 type Ticker interface {
 	Tick(ctx *Context)
 }
 
 // Pending is an optional extension: handlers implementing it can report
 // buffered work that is not yet visible as an in-flight message, which
-// delays quiescence detection.
+// delays quiescence detection. See Ticker for the contract the event engine
+// adds for handlers implementing both.
 type Pending interface {
 	PendingWork() bool
 }
@@ -113,10 +119,46 @@ func (m QueueModel) String() string {
 	return "node-queues"
 }
 
+// Engine selects the inner-loop implementation of the machine. Both engines
+// produce bit-identical Stats, delivery order and observer callbacks; they
+// differ only in how they find the work of each step.
+type Engine string
+
+const (
+	// EngineDefault resolves to EngineEvent.
+	EngineDefault Engine = ""
+	// EngineEvent is the discrete-event engine: an indexed min-queue of
+	// pending (tick, slot) activations visits only slots with due messages,
+	// pending handler work or in-flight link deliveries, with deterministic
+	// tie-breaking pinned to the sweep's order (phase, then slot index, then
+	// link index, then FIFO arrival). Sparse workloads skip their idle steps
+	// entirely.
+	EngineEvent Engine = "event"
+	// EngineSweep is the paper's step-synchronous loop: every slot is
+	// visited on every step. Kept as the reference implementation the event
+	// engine is differentially tested against.
+	EngineSweep Engine = "sweep"
+)
+
+// ParseEngine validates an engine spec string ("", "event" or "sweep").
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case EngineDefault, EngineEvent, EngineSweep:
+		return Engine(s), nil
+	default:
+		return EngineDefault, fmt.Errorf("simulator: unknown engine %q (want event|sweep)", s)
+	}
+}
+
 // Config assembles a simulated machine.
 type Config struct {
 	Topology mesh.Topology
 	Factory  HandlerFactory
+
+	// Engine selects the inner-loop implementation (default EngineEvent).
+	// Both engines are bit-identical; EngineSweep is the step-synchronous
+	// reference.
+	Engine Engine
 
 	// QueueModel selects per-node or per-link queueing (default NodeQueues).
 	QueueModel QueueModel
@@ -240,6 +282,9 @@ type Simulator struct {
 	inFlight int // messages in link queues, external queues and outboxes
 	started  bool
 	scratch  []int32 // reusable delivery snapshot buffer
+	// eng is the discrete-event scheduler, non-nil only while the event
+	// engine is running; the hooks in send/enqueueRaw/flushOutbox feed it.
+	eng *eventEngine
 }
 
 // New builds a simulator from the config, instantiating one handler per node
@@ -270,6 +315,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.LossRate > 0 && !cfg.Reliable {
 		return nil, fmt.Errorf("simulator: LossRate %v requires Reliable=true", cfg.LossRate)
+	}
+	if _, err := ParseEngine(string(cfg.Engine)); err != nil {
+		return nil, err
 	}
 	n := cfg.Topology.Size()
 	if cfg.QueueModel == LinkQueues {
@@ -378,6 +426,11 @@ func (s *Simulator) Run() Stats { return s.RunContext(context.Background()) }
 // only ever aborts the loop, never reorders it.
 func (s *Simulator) RunContext(ctx context.Context) Stats {
 	s.started = true
+	if s.cfg.Engine != EngineSweep {
+		// The engine must exist before handler Init runs: Init-time sends
+		// hit the send/enqueueRaw hooks, which schedule their flushes.
+		s.eng = newEventEngine(s)
+	}
 	for i := range s.handlers {
 		s.handlers[i].Init(&s.contexts[i])
 	}
@@ -387,6 +440,9 @@ func (s *Simulator) RunContext(ctx context.Context) Stats {
 		s.extQ[m.Dst].push(m)
 		s.inFlight++
 		s.stats.TotalSent++
+		if s.eng != nil {
+			s.eng.schedule(evDeliver, int32(m.Dst), 0)
+		}
 	}
 	s.injected = nil
 	s.stats.FirstDelivery = -1
@@ -399,7 +455,16 @@ func (s *Simulator) RunContext(ctx context.Context) Stats {
 		}
 		s.stats.QueuedSeries = make([]int, 0, capHint)
 	}
+	if s.eng != nil {
+		return s.runEvent(ctx)
+	}
+	return s.runSweep(ctx)
+}
 
+// runSweep is the step-synchronous reference loop: every slot is visited on
+// every step. The event engine is differentially tested to be bit-identical
+// to this loop (internal/simulator/difftest).
+func (s *Simulator) runSweep(ctx context.Context) Stats {
 	for s.step = 0; s.step < s.cfg.MaxSteps; s.step++ {
 		if s.step%CancelSliceSteps == 0 && ctx.Err() != nil {
 			s.stats.Steps = s.step
@@ -414,7 +479,7 @@ func (s *Simulator) RunContext(ctx context.Context) Stats {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.AfterStep(s.step, s.inFlight)
 		}
-		if s.inFlight == 0 && !s.anyPending() && (s.links == nil || s.links.idle()) {
+		if s.quiescent() {
 			s.stats.Steps = s.step + 1
 			s.stats.Quiescent = true
 			return s.stats
@@ -423,6 +488,12 @@ func (s *Simulator) RunContext(ctx context.Context) Stats {
 	s.stats.Steps = s.cfg.MaxSteps
 	s.stats.Quiescent = false
 	return s.stats
+}
+
+// quiescent reports whether no work remains anywhere: no queued or in-flight
+// messages, no handler-reported pending work, no unacknowledged frames.
+func (s *Simulator) quiescent() bool {
+	return s.inFlight == 0 && !s.anyPending() && (s.links == nil || s.links.idle())
 }
 
 // runStep performs one paper-semantics simulation step: per-link deliveries,
@@ -567,6 +638,9 @@ func (s *Simulator) flushOutbox(node int) {
 		if li >= 0 {
 			s.activate(dst, li)
 		}
+		if s.eng != nil {
+			s.eng.schedule(evDeliver, int32(dst), msg.arriveAt)
+		}
 	}
 	for _, m := range retry {
 		ob.push(m)
@@ -585,9 +659,16 @@ func (s *Simulator) send(src, dst mesh.NodeID, payload Payload) error {
 	s.stats.TotalSent++
 	if s.links != nil {
 		s.links.onSend(s, &msg)
+		if s.eng != nil {
+			// The fresh pending entry becomes overdue timeout steps out.
+			s.eng.schedule(evRetransmit, 0, s.step+s.links.timeout)
+		}
 	}
 	s.outboxes[src].push(msg)
 	s.inFlight++
+	if s.eng != nil {
+		s.eng.schedule(evFlush, int32(src), s.step)
+	}
 	return nil
 }
 
@@ -596,6 +677,9 @@ func (s *Simulator) send(src, dst mesh.NodeID, payload Payload) error {
 func (s *Simulator) enqueueRaw(msg Message) {
 	s.outboxes[msg.Src].push(msg)
 	s.inFlight++
+	if s.eng != nil {
+		s.eng.schedule(evFlush, int32(msg.Src), s.step)
+	}
 }
 
 func (s *Simulator) anyPending() bool {
