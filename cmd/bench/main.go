@@ -15,6 +15,10 @@
 //     serially and again at -parallel workers, with a bit-identity check,
 //   - the solve service's throughput: 100 uf20 jobs pushed through the
 //     bounded admission queue (depth 64) into the worker pool, in jobs/sec,
+//   - the portfolio racing overhead: a uf20 burst run solo under each
+//     headline mapping strategy and again as a portfolio race of all
+//     three, recording the race's wall-clock cost relative to the best
+//     solo strategy plus the winner distribution,
 //   - the job store's transition throughput: submit→start→finish cycles
 //     per second on the memory backend, the journaling file backend, and
 //     the file backend with per-record fsync,
@@ -40,8 +44,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                     # writes BENCH_PR9.json
-//	go run ./cmd/bench -o BENCH_PR10.json  # next PR's trajectory point
+//	go run ./cmd/bench                     # writes BENCH_PR10.json
+//	go run ./cmd/bench -o BENCH_PR11.json  # next PR's trajectory point
 //	go run ./cmd/bench -parallel 4         # explicit sweep parallelism
 //	go run ./cmd/bench -matrix-smoke       # CI gate: tiny 1-vs-2-proc matrix only
 //	go run ./cmd/bench -sparse-smoke       # CI gate: event-engine speedup + alloc guards
@@ -111,6 +115,23 @@ type serviceEntry struct {
 	JobsPerSec float64 `json:"jobs_per_sec"`
 }
 
+// portfolioEntry measures what portfolio racing costs: the same uf20 burst
+// run solo under each strategy and once as a race of all of them. Overhead
+// is race wall-clock divided by the best solo strategy's — the price paid
+// for not having to know the best strategy in advance.
+type portfolioEntry struct {
+	Jobs            int                `json:"jobs"`
+	Workers         int                `json:"workers"`
+	Strategies      []string           `json:"strategies"`
+	SoloSeconds     map[string]float64 `json:"solo_seconds"`
+	BestSolo        string             `json:"best_solo"`
+	BestSoloSeconds float64            `json:"best_solo_seconds"`
+	RaceSeconds     float64            `json:"race_seconds"`
+	Overhead        float64            `json:"overhead"`
+	// Wins is the winner distribution over the race burst's jobs.
+	Wins map[string]int `json:"wins"`
+}
+
 // storeEntry is the job-store transition throughput for one backend: ops
 // are full submit→start→finish cycles (three journal records on the file
 // backends).
@@ -175,6 +196,7 @@ type report struct {
 	Sparse      []sparsePoint    `json:"sparse"`
 	Sweep       sweepEntry       `json:"sweep"`
 	Service     serviceEntry     `json:"service"`
+	Portfolio   portfolioEntry   `json:"portfolio"`
 	Store       []storeEntry     `json:"store"`
 	Replication replicationEntry `json:"replication"`
 	Matrix      []matrixPoint    `json:"matrix"`
@@ -192,7 +214,7 @@ func cpuQuota() string {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR9.json", "output file")
+		out   = flag.String("o", "BENCH_PR10.json", "output file")
 		par   = flag.Int("parallel", 0, "sweep parallelism for the speedup measurement (0 = GOMAXPROCS)")
 		smoke = flag.Bool("matrix-smoke", false,
 			"run only a reduced 1-vs-2-proc scaling matrix and fail if 2-proc sweep speedup < 1.0x (skipped on 1-CPU hosts)")
@@ -272,6 +294,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Service = svcEntry
+	fmt.Fprintln(os.Stderr, "bench: portfolio racing overhead (uf20 burst, race vs solo best)...")
+	rep.Portfolio, err = benchPortfolio(*par, 40)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "bench: job-store transition throughput (memory vs file vs file+fsync)...")
 	rep.Store, err = benchStore()
 	if err != nil {
@@ -301,8 +329,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (sparse event speedup >= %.1fx, sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms, sweep efficiency@2 %.2f)\n",
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (sparse event speedup >= %.1fx, sweep speedup %.2fx at parallelism %d, service %.1f jobs/s, portfolio overhead %.2fx vs solo %s, store %.0f/%.0f/%.0f ops/s mem/file/fsync, replica tail %.0f rec/s, failover read %.1fms, sweep efficiency@2 %.2f)\n",
 		*out, minSpeedup(rep.Sparse), sweep.Speedup, sweep.Parallelism, svcEntry.JobsPerSec,
+		rep.Portfolio.Overhead, rep.Portfolio.BestSolo,
 		rep.Store[0].OpsPerSec, rep.Store[1].OpsPerSec, rep.Store[2].OpsPerSec,
 		rep.Replication.TailRecordsPerSec, rep.Replication.FailoverFirstReadMs,
 		rep.Matrix[1].SweepEfficiency)
@@ -899,6 +928,115 @@ func benchService(workers, jobs int) (serviceEntry, error) {
 		Seconds:    elapsed.Seconds(),
 		JobsPerSec: float64(jobs) / elapsed.Seconds(),
 	}, nil
+}
+
+// benchPortfolio measures the cost of portfolio racing on a uf20 burst:
+// the burst runs solo under each headline strategy, then once more racing
+// all of them per job. The race burns up to len(strategies) workers per
+// job, so its wall clock is expected to sit above the best solo strategy's
+// — Overhead records by how much, Wins which strategies actually won.
+func benchPortfolio(workers, jobs int) (portfolioEntry, error) {
+	strategies := []string{"rr", "lbn", "weighted"}
+	const depth = 64
+	suite, err := hypersolve.GenerateSATSuite(sat.UF20Params(29))
+	if err != nil {
+		return portfolioEntry{}, err
+	}
+	mkSpecs := func(mapper string, portfolio []string) ([]hypersolve.JobSpec, error) {
+		specs := make([]hypersolve.JobSpec, jobs)
+		for i := range specs {
+			var cnf strings.Builder
+			if err := sat.WriteDIMACS(&cnf, suite[i%len(suite)]); err != nil {
+				return nil, err
+			}
+			specs[i] = hypersolve.JobSpec{
+				Kind:      "sat",
+				CNF:       cnf.String(),
+				Topology:  "torus:8x8",
+				Mapper:    mapper,
+				Portfolio: portfolio,
+				Seed:      int64(i),
+			}
+		}
+		return specs, nil
+	}
+	// runBurst pushes the burst through a fresh service and returns its
+	// wall-clock seconds plus the winner distribution (empty for solo runs).
+	runBurst := func(specs []hypersolve.JobSpec) (float64, map[string]int, error) {
+		svc := hypersolve.NewSolveService(hypersolve.SolveServiceConfig{QueueDepth: depth, Workers: workers})
+		defer svc.Close()
+		start := time.Now()
+		ids := make([]int64, 0, len(specs))
+		for _, spec := range specs {
+			for {
+				job, err := svc.Submit(spec)
+				if err == nil {
+					ids = append(ids, job.ID.Seq)
+					break
+				}
+				if !errors.Is(err, service.ErrQueueFull) {
+					return 0, nil, err
+				}
+				time.Sleep(200 * time.Microsecond) // backpressure: retry
+			}
+		}
+		wins := make(map[string]int)
+		for _, id := range ids {
+			for {
+				j, ok := svc.Get(id)
+				if !ok {
+					return 0, nil, fmt.Errorf("bench: job %d vanished", id)
+				}
+				if j.State.Terminal() {
+					if j.State != service.StateDone {
+						return 0, nil, fmt.Errorf("bench: job %d ended %s: %s", id, j.State, j.Error)
+					}
+					if j.Winner != "" {
+						wins[j.Winner]++
+					}
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return time.Since(start).Seconds(), wins, nil
+	}
+
+	e := portfolioEntry{
+		Jobs:        jobs,
+		Workers:     workers,
+		Strategies:  strategies,
+		SoloSeconds: make(map[string]float64, len(strategies)),
+	}
+	for _, strat := range strategies {
+		specs, err := mkSpecs(strat, nil)
+		if err != nil {
+			return e, err
+		}
+		secs, _, err := runBurst(specs)
+		if err != nil {
+			return e, err
+		}
+		e.SoloSeconds[strat] = secs
+		if e.BestSolo == "" || secs < e.BestSoloSeconds {
+			e.BestSolo, e.BestSoloSeconds = strat, secs
+		}
+		fmt.Fprintf(os.Stderr, "bench:   solo %-10s %.2fs\n", strat, secs)
+	}
+	specs, err := mkSpecs("", strategies)
+	if err != nil {
+		return e, err
+	}
+	raceSecs, wins, err := runBurst(specs)
+	if err != nil {
+		return e, err
+	}
+	e.RaceSeconds = raceSecs
+	e.Overhead = raceSecs / e.BestSoloSeconds
+	e.Wins = wins
+	fmt.Fprintf(os.Stderr, "bench:   race %.2fs (%.2fx vs solo %s), wins %v\n",
+		raceSecs, e.Overhead, e.BestSolo, wins)
+	return e, nil
 }
 
 // benchStore measures raw job-store transition throughput — what the

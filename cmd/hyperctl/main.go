@@ -5,7 +5,10 @@
 // Subcommands:
 //
 //	submit  submit a job; -cnf FILE submits a DIMACS formula end-to-end,
-//	        -spec FILE submits a raw JobSpec JSON document
+//	        -spec FILE submits a raw JobSpec JSON document, and
+//	        -portfolio rr,lbn,weighted races the job under several mapping
+//	        strategies (first terminal attempt wins; -portfolio auto uses
+//	        the server's learned ranking)
 //	status  print one job (or all jobs with no argument)
 //	list    list jobs, optionally filtered by state
 //	wait    poll a job until it reaches a terminal state (backoff to 2s);
@@ -33,6 +36,7 @@
 // Examples:
 //
 //	hyperctl submit -kind sat -cnf uf20.cnf -topo torus:14x14 -mapper lbn -wait
+//	hyperctl submit -kind sat -n 20 -portfolio rr,lbn,weighted -wait
 //	hyperctl submit -kind queens -n 7
 //	hyperctl submit -spec job.json
 //	hyperctl status 3
@@ -180,6 +184,7 @@ func submit(ctx context.Context, client *service.Client, args []string) error {
 		heuristic = fs.String("heuristic", "", "sat branching heuristic: first, freq, jw, dlis")
 		topo      = fs.String("topo", "", "topology spec (default torus:14x14)")
 		mapper    = fs.String("mapper", "", "mapper spec (default rr)")
+		portfolio = fs.String("portfolio", "", "comma-separated mapper specs to race (e.g. rr,lbn,weighted), or auto; mutually exclusive with -mapper")
 		procs     = fs.Int("procs", 0, "logical processes per core")
 		seed      = fs.Int64("seed", 1, "random seed")
 		maxSteps  = fs.Int64("max-steps", 0, "simulation step budget (0 = default)")
@@ -205,6 +210,11 @@ func submit(ctx context.Context, client *service.Client, args []string) error {
 		TimeoutMs:    timeout.Milliseconds(),
 		RecordSeries: *series,
 		Heatmap:      *heatmap,
+	}
+	for _, strat := range strings.Split(*portfolio, ",") {
+		if strat = strings.TrimSpace(strat); strat != "" {
+			spec.Portfolio = append(spec.Portfolio, strat)
+		}
 	}
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
@@ -234,7 +244,35 @@ func submit(ctx context.Context, client *service.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	printRaceSummary(job)
 	return printJSON(job)
+}
+
+// printRaceSummary writes a one-line-per-attempt portfolio verdict to
+// stderr (stdout stays clean JSON): the winning strategy and each
+// attempt's outcome. Solo jobs print nothing.
+func printRaceSummary(job service.Job) {
+	if len(job.Attempts) == 0 || !job.State.Terminal() {
+		return
+	}
+	if job.Winner != "" {
+		fmt.Fprintf(os.Stderr, "portfolio: %s won\n", job.Winner)
+	} else {
+		fmt.Fprintf(os.Stderr, "portfolio: no winner (job %s)\n", job.State)
+	}
+	for _, a := range job.Attempts {
+		line := fmt.Sprintf("  %-12s %s", a.Strategy, a.State)
+		if a.Steps > 0 {
+			line += fmt.Sprintf(" after %d steps", a.Steps)
+		}
+		if !a.StartedAt.IsZero() && !a.FinishedAt.IsZero() {
+			line += fmt.Sprintf(" in %s", a.FinishedAt.Sub(a.StartedAt).Round(time.Millisecond))
+		}
+		if a.Error != "" {
+			line += " (" + a.Error + ")"
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 func status(ctx context.Context, client *service.Client, args []string) error {
@@ -253,6 +291,7 @@ func status(ctx context.Context, client *service.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	printRaceSummary(job)
 	return printJSON(job)
 }
 
@@ -339,6 +378,7 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	printRaceSummary(job)
 	return printJSON(job)
 }
 
@@ -348,12 +388,18 @@ func wait(ctx context.Context, client *service.Client, args []string) error {
 func watchProgress(ctx context.Context, client *service.Client, id service.JobID) error {
 	lastLen := 0
 	err := client.Watch(ctx, id, func(p service.Progress) {
+		// For portfolio jobs the snapshot names the leading attempt's
+		// strategy (the winner's on the terminal snapshot).
+		strat := ""
+		if p.Strategy != "" {
+			strat = " [" + p.Strategy + "]"
+		}
 		var line string
 		if p.State.Terminal() {
-			line = fmt.Sprintf("job %s %s after %d steps", id, p.State, p.Step)
+			line = fmt.Sprintf("job %s %s%s after %d steps", id, p.State, strat, p.Step)
 		} else {
-			line = fmt.Sprintf("job %s %s: step %d · %d queued · %.0f steps/s · %.1fs",
-				id, p.State, p.Step, p.Queued, p.StepsPerSec, float64(p.ElapsedMs)/1000)
+			line = fmt.Sprintf("job %s %s%s: step %d · %d queued · %.0f steps/s · %.1fs",
+				id, p.State, strat, p.Step, p.Queued, p.StepsPerSec, float64(p.ElapsedMs)/1000)
 		}
 		pad := ""
 		if n := lastLen - len(line); n > 0 {

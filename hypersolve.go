@@ -335,6 +335,11 @@ type LinkSpec = service.LinkSpec
 // Job is a tracked solve: spec, lifecycle state, timestamps and result.
 type Job = service.Job
 
+// JobAttempt is one strategy's run inside a portfolio race (see
+// JobSpec.Portfolio): the job's spec executed under one mapping strategy in
+// its own cancellation context.
+type JobAttempt = service.Attempt
+
 // JobResult is the JSON result payload of a completed job.
 type JobResult = service.JobResult
 

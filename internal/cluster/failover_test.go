@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -275,6 +276,126 @@ func TestFailoverEndToEnd(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// TestFailoverReRacesPortfolio: portfolio racing composes with failover,
+// under -race. A finished race's winner and attempt ledger replicate to the
+// standby and survive promotion verbatim; a race still in flight when the
+// primary dies is re-admitted by the promoted standby and raced again from
+// scratch — fresh attempts, original trace.
+func TestFailoverReRacesPortfolio(t *testing.T) {
+	rs := newReplicatedShard(t, 4)
+	r, err := New(Config{
+		Backends:      []string{rs.primarySrv.URL},
+		Standbys:      []string{rs.standbySrv.URL},
+		ProbeEvery:    20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		FailAfter:     2,
+		PromoteAfter:  50 * time.Millisecond,
+		SubmitTimeout: 5 * time.Second,
+		Logger:        tracelog.New(testLogWriter{t}, tracelog.LevelInfo, tracelog.FormatText),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(NewHandler(r))
+	t.Cleanup(func() { router.Close(); r.Close() })
+	client := &service.Client{Base: router.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A completed race: its winner and ledger must survive the failover.
+	doneSpec := quickSpec(7)
+	doneSpec.Portfolio = []string{"rr", "lbn"}
+	doneJob, err := client.Submit(ctx, doneSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneFinal, err := client.Wait(ctx, doneJob.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneFinal.Winner == "" || len(doneFinal.Attempts) != 2 {
+		t.Fatalf("finished race = winner %q, %d attempts, want a winner and 2 attempts",
+			doneFinal.Winner, len(doneFinal.Attempts))
+	}
+
+	// A race still in flight at the kill.
+	raceSpec := slowSpec()
+	raceSpec.Portfolio = []string{"rr", "lbn"}
+	raceJob, err := client.Submit(ctx, raceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 10*time.Second, "race start", func() bool {
+		j, err := client.Get(ctx, raceJob.ID)
+		return err == nil && j.State == service.StateRunning
+	})
+
+	// Let the standby catch up fully, then partition the primary mid-race.
+	sc := &service.Client{Base: rs.standbySrv.URL}
+	eventually(t, 10*time.Second, "standby catch-up", func() bool {
+		st, err := sc.ReplicationStatus(ctx)
+		return err == nil && st.Lag == 0 && st.LSN > 0 && st.LastError == ""
+	})
+	rs.primaryKill.dead.Store(true)
+	eventually(t, 10*time.Second, "promotion", func() bool {
+		h := r.Health(ctx)
+		return h.Backends[0].Promoted && h.Backends[0].Base == rs.standbySrv.URL
+	})
+
+	// The finished race's record survived the failover, ledger intact.
+	got, err := client.Get(ctx, doneJob.ID)
+	if err != nil {
+		t.Fatalf("read finished race after promotion: %v", err)
+	}
+	if got.Winner != doneFinal.Winner || !reflect.DeepEqual(got.Attempts, doneFinal.Attempts) {
+		t.Fatalf("race ledger changed across failover:\nbefore: winner=%q %+v\nafter:  winner=%q %+v",
+			doneFinal.Winner, doneFinal.Attempts, got.Winner, got.Attempts)
+	}
+
+	// The promoted node re-admitted the interrupted job and is racing it
+	// again: a fresh ledger with attempts under way, on the original trace
+	// (the requeued instant marks the hand-off).
+	eventually(t, 10*time.Second, "re-race start", func() bool {
+		j, err := client.Get(ctx, raceJob.ID)
+		if err != nil || j.State != service.StateRunning {
+			return false
+		}
+		for _, a := range j.Attempts {
+			if a.State == service.StateRunning {
+				return true
+			}
+		}
+		return false
+	})
+	rerunTrace, err := client.Trace(ctx, raceJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasSpan(rerunTrace, "requeued") {
+		t.Fatalf("re-raced trace lacks the requeued span: %+v", rerunTrace.Spans)
+	}
+
+	// Don't sit out the slow solve: cancel through the router and check the
+	// whole race settles — every attempt terminal, no winner.
+	if _, err := client.Cancel(ctx, raceJob.ID); err != nil {
+		if status, ok := service.ErrorStatus(err); !ok || status != http.StatusConflict {
+			t.Fatalf("cancel re-raced job: %v", err)
+		}
+	}
+	final, err := client.Wait(ctx, raceJob.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.State.Terminal() || final.Winner != "" {
+		t.Fatalf("cancelled race = %s winner %q, want terminal with no winner", final.State, final.Winner)
+	}
+	for _, a := range final.Attempts {
+		if !a.State.Terminal() {
+			t.Fatalf("cancelled race left a live attempt: %+v", a)
+		}
+	}
 }
 
 // TestMembershipAddDrainRemove: adding a shard at runtime re-routes only

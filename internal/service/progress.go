@@ -30,6 +30,10 @@ type Progress struct {
 	// StepsPerSec is the stepping rate since the previous snapshot (since
 	// run start for the first; zero on terminal snapshots).
 	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	// Strategy is the mapping strategy behind this snapshot of a portfolio
+	// job: the leading attempt's while the race runs, the winner's on the
+	// terminal snapshot. Empty for solo jobs.
+	Strategy string `json:"strategy,omitempty"`
 	// Error is the failure reason on a terminal failed snapshot.
 	Error string `json:"error,omitempty"`
 }
@@ -165,6 +169,26 @@ func (b *ProgressBroker) Finish(state State, errMsg string, res *JobResult) {
 	b.Publish(p)
 }
 
+// FinishPortfolio publishes the terminal snapshot of a portfolio race:
+// like Finish, but stamped with the winning strategy and without the
+// steps-counter remainder — the service accounts each attempt's steps in
+// the attempt epilogue, so adding the winner's total here would double
+// count the losers' contributions.
+func (b *ProgressBroker) FinishPortfolio(state State, errMsg, strategy string, res *JobResult) {
+	b.mu.Lock()
+	p := b.last
+	b.mu.Unlock()
+	p.State = state
+	p.Error = errMsg
+	p.StepsPerSec = 0
+	p.Strategy = strategy
+	if res != nil {
+		p.Step = res.Stats.Steps
+		p.Queued = 0
+	}
+	b.Publish(p)
+}
+
 // LastRate returns the stepping rate of the latest running snapshot, zero
 // once the stream has finished. The service sums this across live brokers
 // for the fleet-facing steps/sec gauge.
@@ -223,12 +247,35 @@ func (b *ProgressBroker) Observer() simulator.Observer {
 	return &progressObserver{b: b, started: now, lastPub: now}
 }
 
+// attemptObserver is Observer for one attempt of a portfolio race: frames
+// are stamped with the attempt's strategy, published only while the
+// attempt leads the race (lead, consulted on the throttled publish
+// cadence), and step annotations land on the attempt's own trace span
+// (annotate; both hooks may be nil). Returned concretely so the service's
+// attempt epilogue can read CountedSteps.
+func (b *ProgressBroker) attemptObserver(strategy string, lead func(step int64) bool, annotate func(step int64, queued int)) *progressObserver {
+	now := time.Now()
+	return &progressObserver{b: b, started: now, lastPub: now, strategy: strategy, lead: lead, annotate: annotate}
+}
+
 type progressObserver struct {
 	b        *ProgressBroker
 	started  time.Time
 	lastPub  time.Time
 	lastStep int64
+
+	// Attempt-scoped hooks (nil on the solo path, where the broker's own
+	// annotate applies and every snapshot publishes).
+	strategy string
+	lead     func(step int64) bool
+	annotate func(step int64, queued int)
 }
+
+// CountedSteps reports how many executed steps this observer has added to
+// the telemetry counter. The attempt epilogue reads it after the run
+// returns (the observer is quiescent by then) to account the tail run
+// since the last publish.
+func (o *progressObserver) CountedSteps() int64 { return o.lastStep }
 
 func (o *progressObserver) AfterStep(step int64, queued int) {
 	if step&(progressCheckSteps-1) != 0 {
@@ -239,15 +286,20 @@ func (o *progressObserver) AfterStep(step int64, queued int) {
 	if since < ProgressInterval {
 		return
 	}
-	o.b.Publish(Progress{
-		State:       StateRunning,
-		Step:        step,
-		Queued:      queued,
-		ElapsedMs:   now.Sub(o.started).Milliseconds(),
-		StepsPerSec: float64(step-o.lastStep) / since.Seconds(),
-	})
+	if o.lead == nil || o.lead(step) {
+		o.b.Publish(Progress{
+			State:       StateRunning,
+			Step:        step,
+			Queued:      queued,
+			ElapsedMs:   now.Sub(o.started).Milliseconds(),
+			StepsPerSec: float64(step-o.lastStep) / since.Seconds(),
+			Strategy:    o.strategy,
+		})
+	}
 	o.b.steps.Add(step - o.lastStep)
-	if o.b.annotate != nil {
+	if o.annotate != nil {
+		o.annotate(step, queued)
+	} else if o.b.annotate != nil {
 		o.b.annotate(step, queued)
 	}
 	o.lastPub = now

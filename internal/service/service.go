@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypersolve/internal/core"
@@ -88,10 +89,45 @@ type Job struct {
 	Error  string     `json:"error,omitempty"`
 	Result *JobResult `json:"result,omitempty"`
 
+	// Winner is the mapping strategy whose attempt won a portfolio race
+	// (empty for solo jobs and unfinished or lost races); Attempts is the
+	// race's per-strategy ledger in launch order. Both are decoded from
+	// the store's attempt records, so they survive restarts and failover.
+	Winner   string    `json:"winner,omitempty"`
+	Attempts []Attempt `json:"attempts,omitempty"`
+
 	// raw preserves the undecoded core.Result for in-process callers (the
 	// determinism tests compare it bit-for-bit against a serial run). It is
 	// not persisted: after a daemon restart Raw returns nil.
 	raw *core.Result
+}
+
+// Attempt is one strategy's run inside a portfolio race: the job's spec
+// executed under this mapping strategy, in its own cancellation context.
+// Exactly one attempt of a finished race is terminal as done or failed
+// (the decider); the rest are recorded cancelled — including attempts
+// whose run happened to complete after the race was already decided, whose
+// results are discarded to keep the job's payload identical to a solo run
+// of the winner.
+type Attempt struct {
+	Strategy   string    `json:"strategy"`
+	State      State     `json:"state"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// Steps is the layer-1 steps this attempt executed (zero for attempts
+	// cancelled before running or interrupted mid-slice).
+	Steps int64 `json:"steps,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Winner marks the attempt whose successful result became the job's.
+	Winner bool `json:"winner,omitempty"`
+}
+
+// attemptsDoc is the JSON shape persisted through store.SetAttempts: the
+// ledger the service writes on every attempt transition and decodes back
+// into Job.Winner/Job.Attempts.
+type attemptsDoc struct {
+	Winner   string    `json:"winner,omitempty"`
+	Attempts []Attempt `json:"attempts"`
 }
 
 // Raw returns the undecoded core.Result of a done job (nil otherwise, and
@@ -144,6 +180,9 @@ type serviceMetrics struct {
 	duration  *telemetry.Histogram
 	busy      *telemetry.Gauge
 	steps     *telemetry.Counter
+
+	attemptsStarted   *telemetry.Counter
+	attemptsCancelled *telemetry.Counter
 }
 
 // Service is a long-lived multi-tenant solve backend: a pluggable job
@@ -154,17 +193,25 @@ type Service struct {
 	store   store.Store
 	metrics serviceMetrics
 
-	mu      sync.Mutex
-	wake    *sync.Cond // signalled when pending grows or the service closes
-	pending []int64    // FIFO of queued job IDs; its length is the queue load
-	// builds caches each queued job's admission-time compilation so the
-	// worker does not parse the formula or rebuild the config a second
-	// time; entries are dropped when the job goes terminal.
-	builds map[int64]*buildOut
+	mu   sync.Mutex
+	wake *sync.Cond // signalled when pending grows or the service closes
+	// pending is the FIFO of attempts awaiting a worker: a solo job
+	// enqueues exactly one, a portfolio job one per strategy. queued
+	// counts the jobs (not attempts) still waiting for their first
+	// dequeue — the admission-queue load.
+	pending []workItem
+	queued  int
+	// runs holds each live (queued or running) job's in-flight state: the
+	// admission-time compilation, the resolved strategy list, and the
+	// race's per-attempt bookkeeping. Entries are dropped when the job
+	// goes terminal.
+	runs map[int64]*jobRun
 	// raws keeps the undecoded core.Result of done jobs for in-process
 	// callers (Job.Raw); never persisted.
-	raws    map[int64]*core.Result
-	cancels map[int64]context.CancelFunc
+	raws map[int64]*core.Result
+	// adapt is the per-problem-class strategy-stats table biasing
+	// portfolio launch order (see adapt.go).
+	adapt *strategyStats
 	// brokers fan each live (queued or running) job's progress snapshots
 	// out to event subscribers; the terminal transition publishes the final
 	// snapshot and drops the entry, so the map never outlives the queue.
@@ -207,9 +254,9 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:     cfg,
 		store:   st,
-		builds:  make(map[int64]*buildOut),
+		runs:    make(map[int64]*jobRun),
 		raws:    make(map[int64]*core.Result),
-		cancels: make(map[int64]context.CancelFunc),
+		adapt:   newStrategyStats(),
 		brokers: make(map[int64]*ProgressBroker),
 		traces:  make(map[int64]*liveTrace),
 		done:    make(chan struct{}),
@@ -217,6 +264,9 @@ func New(cfg Config) *Service {
 	s.registerMetrics()
 	s.wake = sync.NewCond(&s.mu)
 	s.root, s.cancelRoot = context.WithCancel(context.Background())
+	// Learned strategy rankings come back before recovery so a re-admitted
+	// "auto" portfolio races in the order the pre-crash wins taught.
+	s.rebuildAdapt()
 	s.recover()
 	go func() {
 		defer close(s.done)
@@ -225,11 +275,11 @@ func New(cfg Config) *Service {
 		// admission queue until Close.
 		_ = parallel.ForEach(cfg.Workers, cfg.Workers, func(int) error {
 			for {
-				id, ok := s.next()
+				it, ok := s.next()
 				if !ok {
 					return nil
 				}
-				s.runJob(id)
+				s.runAttempt(it)
 			}
 		})
 	}()
@@ -261,6 +311,10 @@ func (s *Service) registerMetrics() {
 			"Workers currently executing a job."),
 		steps: reg.Counter("hypersolve_sim_steps_total",
 			"Layer-1 simulator steps executed, summed over all jobs."),
+		attemptsStarted: reg.Counter("hypersolve_attempts_started_total",
+			"Attempts handed to a worker (one per solo job, one per strategy in a portfolio race)."),
+		attemptsCancelled: reg.Counter("hypersolve_attempts_cancelled_total",
+			"Attempts cancelled: race losers, job cancellations and shutdown."),
 	}
 	reg.GaugeFunc("hypersolve_queue_depth",
 		"Jobs waiting in the admission queue.", func() float64 { return float64(s.Load()) })
@@ -274,6 +328,15 @@ func (s *Service) registerMetrics() {
 		"Build identity of the running binary; always 1, the labels carry the information.",
 		telemetry.Label{Key: "version", Value: version.Version},
 		telemetry.Label{Key: "commit", Value: version.Commit}).Set(1)
+}
+
+// portfolioWins returns the per-strategy race-win counter. Instruments are
+// shared by name+labels across calls (the registry is idempotent), so
+// strategies create their series lazily on first win.
+func (s *Service) portfolioWins(strategy string) *telemetry.Counter {
+	return s.cfg.Telemetry.Counter("hypersolve_portfolio_wins_total",
+		"Portfolio races won, by winning strategy.",
+		telemetry.Label{Key: "strategy", Value: strategy})
 }
 
 // newBroker returns a progress broker wired into the service's step
@@ -290,11 +353,13 @@ func (s *Service) newBroker() *ProgressBroker {
 // GET /metrics.
 func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
-// Load returns the current admission-queue occupancy.
+// Load returns the current admission-queue occupancy: jobs awaiting their
+// first worker (a portfolio job counts once however many attempts it
+// races).
 func (s *Service) Load() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	return s.queued
 }
 
 // StepsPerSec sums the latest observed stepping rate across running jobs.
@@ -328,10 +393,7 @@ func (s *Service) recover() {
 				fmt.Sprintf("recovery: %v", err), nil)
 			continue
 		}
-		s.builds[sj.ID] = &built
-		s.brokers[sj.ID] = s.newBroker()
-		s.brokers[sj.ID].Publish(Progress{State: StateQueued})
-		s.pending = append(s.pending, sj.ID)
+		s.admitLocked(sj.ID, spec, &built)
 		// Resume the persisted timeline under the original trace ID so the
 		// re-run links to the pre-crash spans; jobs admitted before tracing
 		// existed get a fresh trace. The instant requeued span marks the
@@ -345,20 +407,101 @@ func (s *Service) recover() {
 	}
 }
 
-// next blocks until a queued job is available (returning its ID) or the
-// service closes (returning false).
-func (s *Service) next() (int64, bool) {
+// admitLocked installs a job's run state and enqueues its attempts: one
+// work item for a solo job, one per strategy for a portfolio race (the
+// launch order fixed here by the adaptive ranking). Callers hold s.mu (or,
+// in New, have not yet shared the service).
+func (s *Service) admitLocked(id int64, spec JobSpec, built *buildOut) *jobRun {
+	strategies := s.resolveStrategies(spec, built)
+	jr := &jobRun{
+		spec:       spec,
+		built:      built,
+		strategies: strategies,
+		portfolio:  len(built.portfolio) > 0,
+		winner:     -1,
+		attempts:   make([]Attempt, len(strategies)),
+		cancels:    make([]context.CancelFunc, len(strategies)),
+		spans:      make([]int64, len(strategies)),
+		lead:       make([]int64, len(strategies)),
+	}
+	for i, strat := range strategies {
+		jr.attempts[i] = Attempt{Strategy: strat, State: StateQueued}
+	}
+	s.runs[id] = jr
+	s.brokers[id] = s.newBroker()
+	s.brokers[id].Publish(Progress{State: StateQueued})
+	for i := range strategies {
+		s.pending = append(s.pending, workItem{id: id, attempt: i})
+	}
+	s.queued++
+	return jr
+}
+
+// workItem is one admission-queue entry: a job's attempt awaiting a
+// worker.
+type workItem struct {
+	id      int64
+	attempt int
+}
+
+// jobRun is the in-flight state of one admitted job: the compiled spec,
+// the resolved strategy list and the race's per-attempt bookkeeping. All
+// fields are guarded by Service.mu except lead, which attempt observers
+// update atomically off-lock on their publish cadence.
+type jobRun struct {
+	spec       JobSpec
+	built      *buildOut
+	strategies []string
+	portfolio  bool // persist the attempt ledger (len(strategies) may be 1)
+
+	started bool // first attempt dequeued; the job is running
+	// ctx is the job-level context (deadline-bounded when the spec asks);
+	// every attempt's context is its child, so one cancel stops the race.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	runSpan int64
+
+	attempts []Attempt
+	cancels  []context.CancelFunc // per running attempt; nil otherwise
+	spans    []int64              // per-attempt trace span (0 = none)
+	lead     []int64              // per-attempt last observed step, atomic
+	settled  int                  // attempts in a terminal state
+	winner   int                  // deciding attempt's index, -1 until decided
+	winErr   error                // deciding attempt's error (nil = success)
+	winRes   *JobResult
+	winRaw   *core.Result
+}
+
+// leadFunc returns the leading-attempt predicate for attempt idx: publish
+// a progress frame only when this attempt's step count is at least every
+// other attempt's, so SSE subscribers see the race leader's strategy.
+// Called off-lock, on the observer's throttled publish cadence.
+func (jr *jobRun) leadFunc(idx int) func(step int64) bool {
+	return func(step int64) bool {
+		atomic.StoreInt64(&jr.lead[idx], step)
+		for k := range jr.lead {
+			if k != idx && atomic.LoadInt64(&jr.lead[k]) > step {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// next blocks until a queued attempt is available or the service closes
+// (returning false).
+func (s *Service) next() (workItem, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.pending) == 0 && !s.closed {
 		s.wake.Wait()
 	}
 	if len(s.pending) == 0 {
-		return 0, false
+		return workItem{}, false
 	}
-	id := s.pending[0]
+	it := s.pending[0]
 	s.pending = s.pending[1:]
-	return id, true
+	return it, true
 }
 
 // Queue returns the configured admission-queue depth and worker count.
@@ -400,7 +543,7 @@ func (s *Service) SubmitTraced(spec JobSpec, tc tracelog.TraceContext) (Job, err
 	if s.closed {
 		return Job{}, ErrClosed
 	}
-	if len(s.pending) >= s.cfg.QueueDepth {
+	if s.queued >= s.cfg.QueueDepth {
 		s.metrics.rejected.Inc()
 		return Job{}, ErrQueueFull
 	}
@@ -411,10 +554,7 @@ func (s *Service) SubmitTraced(spec JobSpec, tc tracelog.TraceContext) (Job, err
 		return Job{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	s.metrics.submitted.Inc()
-	s.builds[sj.ID] = &built
-	s.brokers[sj.ID] = s.newBroker()
-	s.brokers[sj.ID].Publish(Progress{State: StateQueued})
-	s.pending = append(s.pending, sj.ID)
+	jr := s.admitLocked(sj.ID, spec, &built)
 	tr.EndSpan(admission)
 	s.traces[sj.ID] = &liveTrace{tr: tr, queue: tr.StartSpan("queue")}
 	// Persist the opening timeline now (journaled like any transition) so
@@ -422,7 +562,13 @@ func (s *Service) SubmitTraced(spec JobSpec, tc tracelog.TraceContext) (Job, err
 	// admission spans for recovery to resume. Failure costs observability
 	// only.
 	_ = s.store.SetTrace(sj.ID, tr.JSON())
-	s.wake.Signal()
+	// A portfolio race needs one worker per attempt to start concurrently;
+	// Signal would hand all its entries to a single woken worker's loop.
+	if len(jr.strategies) > 1 {
+		s.wake.Broadcast()
+	} else {
+		s.wake.Signal()
+	}
 	return s.jobFromStore(sj), nil
 }
 
@@ -452,6 +598,13 @@ func jobFromRecord(sj store.Job) Job {
 	if len(sj.Result) > 0 {
 		j.Result = new(JobResult)
 		_ = json.Unmarshal(sj.Result, j.Result)
+	}
+	if len(sj.Attempts) > 0 {
+		var doc attemptsDoc
+		if json.Unmarshal(sj.Attempts, &doc) == nil {
+			j.Winner = doc.Winner
+			j.Attempts = doc.Attempts
+		}
 	}
 	return j
 }
@@ -540,17 +693,19 @@ func (s *Service) Cancel(id int64) (Job, error) {
 	}
 	switch sj.State {
 	case StateQueued:
-		for i, pid := range s.pending {
-			if pid == id {
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				break
+		kept := s.pending[:0]
+		for _, it := range s.pending {
+			if it.id != id {
+				kept = append(kept, it)
 			}
 		}
+		s.pending = kept
+		s.queued--
 		s.finishLocked(id, StateCancelled, "", nil)
 		sj, _ = s.store.Get(id)
 	case StateRunning:
-		if cancel, ok := s.cancels[id]; ok {
-			cancel()
+		if jr := s.runs[id]; jr != nil && jr.cancel != nil {
+			jr.cancel()
 		}
 	default:
 		return s.jobFromStore(sj), ErrFinished
@@ -580,13 +735,20 @@ func (s *Service) finishLocked(id int64, state State, errMsg string, result *Job
 		delete(s.traces, id)
 	}
 	if b := s.brokers[id]; b != nil {
-		b.Finish(state, errMsg, result)
+		if jr := s.runs[id]; jr != nil && jr.portfolio {
+			strat := ""
+			if jr.winner >= 0 && jr.winErr == nil {
+				strat = jr.strategies[jr.winner]
+			}
+			b.FinishPortfolio(state, errMsg, strat, result)
+		} else {
+			b.Finish(state, errMsg, result)
+		}
 		delete(s.brokers, id)
 	}
-	delete(s.builds, id)
+	delete(s.runs, id)
 	for _, eid := range evicted {
 		delete(s.raws, eid)
-		delete(s.builds, eid)
 	}
 }
 
@@ -605,12 +767,27 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	for _, id := range s.pending {
-		if sj, ok := s.store.Get(id); ok && sj.State == StateQueued {
-			s.finishLocked(id, StateCancelled, "", nil)
+	for _, it := range s.pending {
+		jr := s.runs[it.id]
+		if jr == nil {
+			continue
 		}
+		if !jr.started {
+			// Still queued: cancel the whole job. finishLocked drops the
+			// runs entry, so this job's remaining attempt items fall through
+			// the nil check above.
+			s.queued--
+			s.finishLocked(it.id, StateCancelled, "", nil)
+			continue
+		}
+		// A running job's not-yet-dequeued attempt: no worker will pick it
+		// up now, so settle it here. The job's in-flight attempts are
+		// interrupted by the root cancellation below and settle in their
+		// worker epilogues.
+		s.settleAttemptLocked(it.id, jr, it.attempt, StateCancelled, "", 0)
 	}
 	s.pending = nil
+	s.queued = 0
 	s.cancelRoot()
 	s.wake.Broadcast()
 	s.mu.Unlock()
@@ -618,96 +795,254 @@ func (s *Service) Close() {
 	_ = s.store.Close()
 }
 
-// runJob drives one dequeued job through its run.
-func (s *Service) runJob(id int64) {
+// runAttempt drives one dequeued attempt through its run. The first
+// attempt of a job to reach a worker transitions the job to running (store
+// record, run span, job-level context); every attempt then executes the
+// admission-compiled spec under its own strategy and child context, and
+// the first attempt to return without being cancelled decides the race.
+func (s *Service) runAttempt(it workItem) {
+	id, idx := it.id, it.attempt
 	s.mu.Lock()
-	sj, ok := s.store.Get(id)
-	if !ok || sj.State != StateQueued {
+	jr := s.runs[id]
+	if jr == nil {
 		// Cancelled while queued (or cancelled by Close): nothing to run.
 		s.mu.Unlock()
 		return
 	}
-	var spec JobSpec
-	_ = json.Unmarshal(sj.Spec, &spec)
-	built := s.builds[id]
-	if built == nil {
-		// Unreachable in practice: Submit and recover cache a build for
-		// every queued job. Rebuild defensively rather than wedging.
-		b, err := spec.build()
-		if err != nil {
-			s.finishLocked(id, StateFailed, err.Error(), nil)
-			s.mu.Unlock()
-			return
-		}
-		built = &b
+	if jr.winner >= 0 || (jr.ctx != nil && jr.ctx.Err() != nil) {
+		// The race is already decided (or the job cancelled): record the
+		// attempt as a cancelled loser without occupying the worker.
+		s.settleAttemptLocked(id, jr, idx, StateCancelled, "", 0)
+		s.mu.Unlock()
+		return
 	}
-	// The queued check above ran under this same lock, so Start can only
-	// fail on a journal write, which degrades durability, not correctness.
-	_ = s.store.Start(id, time.Now().UTC())
-	var runSpan int64
 	lt := s.traces[id]
-	if lt != nil {
-		lt.tr.EndSpan(lt.queue)
-		runSpan = lt.tr.StartSpan("run")
+	if !jr.started {
+		jr.started = true
+		s.queued--
+		// The runs-entry check above ran under this same lock, so Start can
+		// only fail on a journal write, which degrades durability, not
+		// correctness.
+		_ = s.store.Start(id, time.Now().UTC())
+		if lt != nil {
+			lt.tr.EndSpan(lt.queue)
+			jr.runSpan = lt.tr.StartSpan("run")
+		}
+		if b := s.brokers[id]; b != nil {
+			b.Publish(Progress{State: StateRunning})
+		}
+		if d := jr.spec.Deadline(); d > 0 {
+			jr.ctx, jr.cancel = context.WithDeadlineCause(s.root, time.Now().Add(d),
+				fmt.Errorf("service: job %d exceeded its %v deadline", id, d))
+		} else {
+			jr.ctx, jr.cancel = context.WithCancel(s.root)
+		}
+	}
+	strat := jr.strategies[idx]
+	jr.attempts[idx].State = StateRunning
+	jr.attempts[idx].StartedAt = time.Now().UTC()
+	s.metrics.attemptsStarted.Inc()
+	actx, acancel := context.WithCancel(jr.ctx)
+	jr.cancels[idx] = acancel
+	var span int64
+	if lt != nil && jr.portfolio {
+		span = lt.tr.StartChild("attempt", jr.runSpan)
+		lt.tr.SetAttr(span, "strategy", strat)
+		jr.spans[idx] = span
 	}
 	var obs simulator.Observer
-	if b := s.brokers[id]; b != nil {
+	var po *progressObserver
+	if b := s.brokers[id]; b != nil && jr.portfolio {
+		var ann func(step int64, queued int)
 		if lt != nil {
-			// Step annotations ride the broker's throttled publish cadence
-			// (at most one per ProgressInterval), never the per-step path.
-			tr, span := lt.tr, runSpan
-			b.annotate = func(step int64, queued int) {
-				tr.Annotate(span, fmt.Sprintf("step %d, %d queued", step, queued))
+			// Step annotations land on the attempt's own span, riding the
+			// observer's throttled publish cadence, never the per-step path.
+			tr, sp := lt.tr, span
+			ann = func(step int64, queued int) {
+				tr.Annotate(sp, fmt.Sprintf("step %d, %d queued", step, queued))
 			}
 		}
-		b.Publish(Progress{State: StateRunning})
+		po = b.attemptObserver(strat, jr.leadFunc(idx), ann)
+		obs = po
+	} else if b != nil {
+		if lt != nil {
+			// Solo path: annotations land on the run span itself, same
+			// cadence.
+			tr, sp := lt.tr, jr.runSpan
+			b.annotate = func(step int64, queued int) {
+				tr.Annotate(sp, fmt.Sprintf("step %d, %d queued", step, queued))
+			}
+		}
 		obs = b.Observer()
 	}
-	var ctx context.Context
-	var cancel context.CancelFunc
-	if d := spec.Deadline(); d > 0 {
-		ctx, cancel = context.WithDeadlineCause(s.root, time.Now().Add(d),
-			fmt.Errorf("service: job %d exceeded its %v deadline", id, d))
-	} else {
-		ctx, cancel = context.WithCancel(s.root)
+	if jr.portfolio {
+		s.persistAttemptsLocked(id, jr)
 	}
-	s.cancels[id] = cancel
 	s.mu.Unlock()
-	defer cancel()
+	defer acancel()
 
 	s.metrics.busy.Add(1)
 	runStart := time.Now()
-	res, raw, runErr := execute(ctx, spec, built, obs)
+	res, raw, runErr := execute(actx, jr.spec, jr.built, strat, obs)
 	s.metrics.duration.Observe(time.Since(runStart).Seconds())
 	s.metrics.busy.Add(-1)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.cancels, id)
-	if lt != nil {
-		if res != nil {
-			lt.tr.SetAttr(runSpan, "steps", res.Stats.Steps)
-		}
-		lt.tr.EndSpan(runSpan)
+	jr.cancels[idx] = nil
+	var steps int64
+	if res != nil {
+		steps = res.Stats.Steps
+	}
+	if po != nil && res != nil {
+		// The broker's Finish remainder is solo-only (see FinishPortfolio);
+		// account this attempt's tail — the steps run since its observer's
+		// last publish — here.
+		s.metrics.steps.Add(res.Stats.Steps - po.CountedSteps())
 	}
 	switch {
-	case runErr == nil:
-		s.raws[id] = raw
-		s.finishLocked(id, StateDone, "", res)
-	case errors.Is(runErr, context.Canceled):
-		s.finishLocked(id, StateCancelled, "", nil)
+	case jr.winner < 0 && runErr == nil:
+		jr.winner = idx
+		jr.winRes, jr.winRaw = res, raw
+		jr.attempts[idx].Winner = true
+		if lt != nil && span != 0 {
+			lt.tr.SetAttr(span, "winner", true)
+		}
+		s.cancelLosersLocked(id, jr, idx)
+		s.settleAttemptLocked(id, jr, idx, StateDone, "", steps)
+	case jr.winner < 0 && !errors.Is(runErr, context.Canceled):
+		// A failing attempt decides the race as a failure. Machine errors
+		// and deadline expiry land here; the deadline cause set above names
+		// the budget.
+		jr.winner = idx
+		jr.winErr = runErr
+		s.cancelLosersLocked(id, jr, idx)
+		s.settleAttemptLocked(id, jr, idx, StateFailed, runErr.Error(), steps)
 	default:
-		// Machine errors and deadline expiry land here; the deadline
-		// cause set above names the budget.
-		s.finishLocked(id, StateFailed, runErr.Error(), nil)
+		// A race loser or a job-level cancellation. An attempt whose run
+		// completed after the race was already decided also lands here: its
+		// result is discarded — keeping the job's payload identical to a
+		// solo run of the winner — and the ledger records it cancelled.
+		s.settleAttemptLocked(id, jr, idx, StateCancelled, "", steps)
 	}
 }
 
-// execute runs one admission-compiled spec under ctx, decoding the raw
-// result into the job's JSON payload. The observer (nil when the job has no
-// broker) streams throttled progress snapshots from the layer-1 step loop.
-func execute(ctx context.Context, spec JobSpec, built *buildOut, obs simulator.Observer) (*JobResult, *core.Result, error) {
+// settleAttemptLocked records attempt idx's terminal state and, once every
+// attempt of the job has settled, finishes the race. Settling an already-
+// terminal attempt is a no-op (an attempt can be cancelled out of the
+// pending queue and again in its worker's epilogue). Callers hold s.mu.
+func (s *Service) settleAttemptLocked(id int64, jr *jobRun, idx int, state State, errMsg string, steps int64) {
+	a := &jr.attempts[idx]
+	if a.State.Terminal() {
+		return
+	}
+	a.State = state
+	a.Error = errMsg
+	a.Steps = steps
+	a.FinishedAt = time.Now().UTC()
+	if state == StateCancelled {
+		s.metrics.attemptsCancelled.Inc()
+	}
+	if lt := s.traces[id]; lt != nil {
+		if span := jr.spans[idx]; span != 0 {
+			if state == StateCancelled {
+				lt.tr.SetAttr(span, "cancelled", true)
+			}
+			if steps > 0 {
+				lt.tr.SetAttr(span, "steps", steps)
+			}
+			lt.tr.EndSpan(span)
+		} else if !jr.portfolio && jr.runSpan != 0 {
+			// Solo path: the run span itself carries the step count, as it
+			// did before attempts existed.
+			if steps > 0 {
+				lt.tr.SetAttr(jr.runSpan, "steps", steps)
+			}
+			lt.tr.EndSpan(jr.runSpan)
+		}
+	}
+	jr.settled++
+	if jr.settled == len(jr.attempts) {
+		s.finishRaceLocked(id, jr)
+	} else if jr.portfolio {
+		s.persistAttemptsLocked(id, jr)
+	}
+}
+
+// cancelLosersLocked stops every other attempt of a decided race: running
+// attempts have their contexts cancelled (their workers settle them within
+// one cancellation slice), and attempts still waiting in the admission
+// queue are removed and settled here. Callers hold s.mu.
+func (s *Service) cancelLosersLocked(id int64, jr *jobRun, winnerIdx int) {
+	for i, cancel := range jr.cancels {
+		if i != winnerIdx && cancel != nil {
+			cancel()
+		}
+	}
+	kept := s.pending[:0]
+	for _, it := range s.pending {
+		if it.id == id {
+			s.settleAttemptLocked(id, jr, it.attempt, StateCancelled, "", 0)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	s.pending = kept
+}
+
+// finishRaceLocked finishes a job whose every attempt has settled:
+// persists the final attempt ledger, feeds the adaptive stats, and records
+// the terminal transition — done with the winner's result, failed with the
+// decider's error, cancelled when no attempt decided. Callers hold s.mu.
+func (s *Service) finishRaceLocked(id int64, jr *jobRun) {
+	if jr.cancel != nil {
+		// Release the job context (and its deadline timer, if any).
+		jr.cancel()
+	}
+	if jr.portfolio {
+		if lt := s.traces[id]; lt != nil && jr.runSpan != 0 {
+			lt.tr.EndSpan(jr.runSpan)
+		}
+		s.persistAttemptsLocked(id, jr)
+	}
+	switch {
+	case jr.winner >= 0 && jr.winErr == nil:
+		s.raws[id] = jr.winRaw
+		if jr.portfolio {
+			strat := jr.strategies[jr.winner]
+			s.adapt.Record(problemClass(jr.spec), strat)
+			s.portfolioWins(strat).Inc()
+		}
+		s.finishLocked(id, StateDone, "", jr.winRes)
+	case jr.winner >= 0:
+		s.finishLocked(id, StateFailed, jr.winErr.Error(), nil)
+	default:
+		s.finishLocked(id, StateCancelled, "", nil)
+	}
+}
+
+// persistAttemptsLocked journals the race's current attempt ledger through
+// the store. Failure costs observability only — the in-memory race state
+// stays authoritative for this process. Callers hold s.mu.
+func (s *Service) persistAttemptsLocked(id int64, jr *jobRun) {
+	doc := attemptsDoc{Attempts: jr.attempts}
+	if jr.winner >= 0 && jr.winErr == nil {
+		doc.Winner = jr.strategies[jr.winner]
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return
+	}
+	_ = s.store.SetAttempts(id, data)
+}
+
+// execute runs one admission-compiled spec under ctx with the given mapping
+// strategy, decoding the raw result into the job's JSON payload. The
+// observer (nil when the job has no broker) streams throttled progress
+// snapshots from the layer-1 step loop.
+func execute(ctx context.Context, spec JobSpec, built *buildOut, strategy string, obs simulator.Observer) (*JobResult, *core.Result, error) {
 	cfg := built.cfg
+	cfg.FreshMapper = freshMapper(strategy)
 	cfg.Observer = obs
 	machine, err := core.New(cfg)
 	if err != nil {

@@ -57,8 +57,16 @@ type JobSpec struct {
 	// "hypercube:7", "full:256" (default "torus:14x14").
 	Topology string `json:"topology,omitempty"`
 	// Mapper is the layer-3 mapping spec: "rr" (default), "rr-stagger",
-	// "lbn", "random", "weighted[:alpha]" or "ideal".
+	// "lbn", "random", "weighted[:alpha]" or "ideal". Mutually exclusive
+	// with Portfolio.
 	Mapper string `json:"mapper,omitempty"`
+	// Portfolio races the same compiled spec under several mapping
+	// strategies concurrently: one attempt per entry, the first terminal
+	// attempt wins and the losers are cancelled. Entries are mapper specs
+	// (duplicates rejected); the single entry "auto" expands to the
+	// service's learned ranking over rr/lbn/weighted. Mutually exclusive
+	// with Mapper.
+	Portfolio []string `json:"portfolio,omitempty"`
 	// ProcsPerNode is the layer-2 oversubscription factor (default 1).
 	ProcsPerNode int `json:"procs_per_node,omitempty"`
 
@@ -113,6 +121,13 @@ type buildOut struct {
 	arg recursion.Value
 	// formula is set for SAT jobs and drives result verification.
 	formula *sat.Formula
+	// mapper is the resolved solo mapping strategy (the spec's Mapper or
+	// its default); portfolio holds the validated Portfolio entries, nil
+	// for a solo job. The service resolves "auto" and the launch order at
+	// admission — the compiled config is strategy-agnostic until execute
+	// installs one attempt's factory.
+	mapper    string
+	portfolio []string
 }
 
 // Build compiles the spec into a runnable machine configuration. It is the
@@ -141,12 +156,41 @@ func (s JobSpec) build() (buildOut, error) {
 		return out, fmt.Errorf("service: topology: %w", err)
 	}
 	mapperSpec := s.Mapper
-	if mapperSpec == "" {
+	if len(s.Portfolio) > 0 {
+		if s.Mapper != "" {
+			return out, fmt.Errorf("service: portfolio and mapper are mutually exclusive")
+		}
+		seen := make(map[string]bool, len(s.Portfolio))
+		for _, strat := range s.Portfolio {
+			if strat == "auto" {
+				if len(s.Portfolio) != 1 {
+					return out, fmt.Errorf(`service: portfolio "auto" must be the only entry`)
+				}
+				continue
+			}
+			if seen[strat] {
+				return out, fmt.Errorf("service: duplicate portfolio strategy %q", strat)
+			}
+			seen[strat] = true
+			if _, err := mapping.Registry(strat); err != nil {
+				return out, fmt.Errorf("service: portfolio: %w", err)
+			}
+		}
+		out.portfolio = append([]string(nil), s.Portfolio...)
+		// Build's config needs a concrete factory; the service overrides it
+		// per attempt, so the first concrete entry is only the solo-Build
+		// fallback ("auto" jobs fall back to rr).
+		mapperSpec = out.portfolio[0]
+		if mapperSpec == "auto" {
+			mapperSpec = "rr"
+		}
+	} else if mapperSpec == "" {
 		mapperSpec = "rr"
 	}
 	if _, err := mapping.Registry(mapperSpec); err != nil {
 		return out, fmt.Errorf("service: mapper: %w", err)
 	}
+	out.mapper = mapperSpec
 
 	var task recursion.Task
 	var arg recursion.Value

@@ -123,7 +123,7 @@ var testHookCompacting func()
 // one during replay. The "epoch" op records a promotion (see
 // replication.go); it carries no job transition.
 type rec struct {
-	Op     string          `json:"op"` // "submit" | "start" | "finish" | "trace" | "epoch"
+	Op     string          `json:"op"` // "submit" | "start" | "finish" | "trace" | "attempts" | "epoch"
 	LSN    int64           `json:"lsn,omitempty"`
 	ID     int64           `json:"id,omitempty"`
 	At     time.Time       `json:"at,omitzero"`
@@ -132,7 +132,9 @@ type rec struct {
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Trace  json.RawMessage `json:"trace,omitempty"`
-	Epoch  int64           `json:"epoch,omitempty"`
+	// Attempts carries the portfolio attempt ledger of an "attempts" op.
+	Attempts json.RawMessage `json:"attempts,omitempty"`
+	Epoch    int64           `json:"epoch,omitempty"`
 }
 
 // snapshot is the compacted full state. LSN is the last record folded in;
@@ -314,6 +316,8 @@ func (f *File) applyRec(r rec) {
 		f.mem.restoreFinish(r.ID, r.State, r.At, r.Error, r.Result)
 	case "trace":
 		f.mem.restoreTrace(r.ID, r.Trace)
+	case "attempts":
+		f.mem.restoreAttempts(r.ID, r.Attempts)
 	case "epoch":
 		if r.Epoch > f.epoch {
 			f.epoch = r.Epoch
@@ -616,6 +620,24 @@ func (f *File) SetTrace(id int64, trace json.RawMessage) error {
 		return err
 	}
 	return f.append(rec{Op: "trace", ID: id, Trace: trace})
+}
+
+// SetAttempts implements Store: the portfolio attempt ledger is attached
+// in the view and journaled as its own "attempts" record, so it replicates
+// to standbys and is folded into snapshots like any transition.
+func (f *File) SetAttempts(id int64, attempts json.RawMessage) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if f.replica {
+		return ErrReplica
+	}
+	if err := f.mem.SetAttempts(id, attempts); err != nil {
+		return err
+	}
+	return f.append(rec{Op: "attempts", ID: id, Attempts: attempts})
 }
 
 // Get implements Store, reading the in-memory view (never blocked by an

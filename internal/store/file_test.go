@@ -228,6 +228,55 @@ func TestStaleJournalReplaysIdempotently(t *testing.T) {
 	}
 }
 
+// TestAttemptsSurviveReplayAndCompaction: the attempt ledger written by a
+// portfolio race must come back byte-identical after a crash + journal
+// replay, and again after the journal has been fully folded into a
+// snapshot — the durability contract behind a promoted standby re-serving
+// attempt history.
+func TestAttemptsSurviveReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, nil, dir, FileConfig{SnapshotEvery: 4})
+	j, err := s.Submit(spec(1), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start(j.ID, at(1))
+	stale := json.RawMessage(`{"winner":"","attempts":[{"strategy":"rr","state":"running"},{"strategy":"lbn","state":"running"}]}`)
+	if err := s.SetAttempts(j.ID, stale); err != nil {
+		t.Fatal(err)
+	}
+	final := json.RawMessage(`{"winner":"lbn","attempts":[{"strategy":"rr","state":"cancelled"},{"strategy":"lbn","state":"done","winner":true}]}`)
+	if err := s.SetAttempts(j.ID, final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(j.ID, StateDone, at(2), "", json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash + replay from the raw journal: last attempts record wins.
+	crashed := reopen(t, s, dir, FileConfig{SnapshotEvery: 4})
+	got, ok := crashed.Get(j.ID)
+	if !ok || string(got.Attempts) != string(final) {
+		t.Fatalf("attempts after replay = %s, want %s", got.Attempts, final)
+	}
+
+	// Push past SnapshotEvery so the ledger's records fold into a snapshot,
+	// then replay again from the snapshot.
+	for i := 2; i <= 4; i++ {
+		jj, _ := crashed.Submit(spec(i), at(i))
+		_ = crashed.Start(jj.ID, at(i))
+		if _, err := crashed.Finish(jj.ID, StateDone, at(i+1), "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed.barrier()
+	compacted := reopen(t, crashed, dir, FileConfig{SnapshotEvery: 4})
+	got, ok = compacted.Get(j.ID)
+	if !ok || string(got.Attempts) != string(final) {
+		t.Fatalf("attempts after compaction = %s, want %s", got.Attempts, final)
+	}
+}
+
 // TestFsyncBackendWorks exercises the fsync-per-record path end to end.
 func TestFsyncBackendWorks(t *testing.T) {
 	dir := t.TempDir()

@@ -101,6 +101,20 @@ func (m *Memory) SetTrace(id int64, trace json.RawMessage) error {
 	return nil
 }
 
+// SetAttempts implements Store: it attaches the opaque portfolio attempt
+// ledger to a job. Like SetTrace it is valid in any state — the final
+// ledger lands just after Finish.
+func (m *Memory) SetAttempts(id int64, attempts json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	j.Attempts = attempts
+	return nil
+}
+
 // Get implements Store: it returns a snapshot of one job.
 func (m *Memory) Get(id int64) (Job, bool) {
 	m.mu.Lock()
@@ -177,6 +191,16 @@ func (m *Memory) restoreTrace(id int64, trace json.RawMessage) {
 	defer m.mu.Unlock()
 	if j, ok := m.jobs[id]; ok {
 		j.Trace = trace
+	}
+}
+
+// restoreAttempts replays an attempts record; last writer wins, matching
+// SetAttempts semantics.
+func (m *Memory) restoreAttempts(id int64, attempts json.RawMessage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.Attempts = attempts
 	}
 }
 

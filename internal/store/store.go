@@ -63,6 +63,11 @@ type Job struct {
 	// and the full one at finish, so traces survive crash recovery and
 	// ride the replication feed to standbys.
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// Attempts is the job's portfolio attempt ledger as opaque JSON
+	// (internal/service owns the format: per-strategy attempt records plus
+	// the winner). Like Trace it is journaled on its own record, so attempt
+	// history survives crash recovery and rides the replication feed.
+	Attempts json.RawMessage `json:"attempts,omitempty"`
 }
 
 // Sentinel errors of the lifecycle transitions.
@@ -90,6 +95,10 @@ type Store interface {
 	// opaque to the store; durable backends journal it like any other
 	// transition so it replicates and survives restarts.
 	SetTrace(id int64, trace json.RawMessage) error
+	// SetAttempts attaches (or replaces) a job's portfolio attempt ledger.
+	// Last writer wins, valid in any state, journaled and replicated like
+	// SetTrace.
+	SetAttempts(id int64, attempts json.RawMessage) error
 	// Get returns a snapshot of one job.
 	Get(id int64) (Job, bool)
 	// List returns snapshots ordered by ID, optionally filtered to the
